@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrates (not a paper artefact).
+
+These time the hot paths that dominate the figure sweeps: signing,
+chain verification, vertex connectivity and topology generation —
+useful when tuning and to catch performance regressions.
+"""
+
+import random
+
+from repro.crypto.chain import extend_chain, verify_chain
+from repro.crypto.keys import build_keystore
+from repro.crypto.proofs import make_proof, proof_bytes, verify_proof
+from repro.crypto.rsa import RsaScheme
+from repro.crypto.signer import HmacScheme
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators.drone import drone_graph
+from repro.graphs.generators.regular import harary_graph
+
+
+def test_hmac_sign(benchmark):
+    scheme = HmacScheme()
+    pair = scheme.generate_keypair(0, random.Random(0))
+    benchmark(scheme.sign, pair, b"x" * 132)
+
+
+def test_hmac_verify(benchmark):
+    scheme = HmacScheme()
+    pair = scheme.generate_keypair(0, random.Random(0))
+    signature = scheme.sign(pair, b"x" * 132)
+    benchmark(scheme.verify, pair.public_key, b"x" * 132, signature)
+
+
+def test_rsa_sign(benchmark):
+    scheme = RsaScheme(bits=256)
+    pair = scheme.generate_keypair(0, random.Random(0))
+    benchmark(scheme.sign, pair, b"x" * 132)
+
+
+def test_chain_verify_depth_5(benchmark):
+    scheme = HmacScheme()
+    store = build_keystore(scheme, 6, seed=0)
+    proof = make_proof(scheme, store.key_pair_of(0), store.key_pair_of(1))
+    payload = proof_bytes(proof)
+    chain = ()
+    for signer in range(5):
+        chain = extend_chain(scheme, store.key_pair_of(signer), payload, chain)
+    benchmark(verify_chain, scheme, store.directory, payload, chain)
+
+
+def test_proof_verify(benchmark):
+    scheme = HmacScheme()
+    store = build_keystore(scheme, 2, seed=0)
+    proof = make_proof(scheme, store.key_pair_of(0), store.key_pair_of(1))
+    benchmark(verify_proof, scheme, store.directory, proof)
+
+
+def test_vertex_connectivity_harary_k6_n40(benchmark):
+    graph = harary_graph(6, 40)
+    benchmark(vertex_connectivity, graph)
+
+
+def test_vertex_connectivity_with_cutoff(benchmark):
+    graph = harary_graph(6, 40)
+    benchmark(vertex_connectivity, graph, 3)
+
+
+def test_generate_drone_graph(benchmark):
+    benchmark(drone_graph, 50, 2.5, 1.2, 0)
+
+
+def test_generate_harary(benchmark):
+    benchmark(harary_graph, 10, 100)

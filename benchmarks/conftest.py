@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (figure or in-text table),
+prints the reproduced series next to a reminder of the paper's
+numbers, and archives the table under ``benchmarks/out/`` so that
+EXPERIMENTS.md can reference stable outputs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # reduced scale
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # paper scale
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.persistence import dump_figure_json
+from repro.experiments.report import FigureData
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def archive():
+    """Print a reproduced figure; archive its table and JSON series."""
+
+    def _archive(figure: FigureData, paper_reference: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        text = figure.render() + "\npaper: " + paper_reference + "\n"
+        (OUT_DIR / f"{figure.figure_id}.txt").write_text(text)
+        (OUT_DIR / f"{figure.figure_id}.json").write_text(
+            dump_figure_json(figure)
+        )
+        print()
+        print(text)
+
+    return _archive

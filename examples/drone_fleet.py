@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Drone fleet scenario (Fig. 2): two scatters drifting apart.
+
+Simulates two drone squadrons whose barycenters separate step by
+step.  At every step, each drone runs NECTAR to decide whether the
+fleet's mesh network could be partitioned by up to ``t`` compromised
+drones — the moment the answer flips, the fleet knows it must
+regroup *before* communication is actually lost.
+
+Run:  python examples/drone_fleet.py
+"""
+
+from repro import Decision, drone_deployment, run_trial
+
+FLEET_SIZE = 16
+RADIUS = 1.8
+BYZANTINE_BUDGET = 2
+
+
+def bar(value: float, scale: float, width: int = 30) -> str:
+    filled = 0 if scale == 0 else int(width * min(value / scale, 1.0))
+    return "#" * filled
+
+
+def main() -> None:
+    print(f"fleet of {FLEET_SIZE} drones, radio range {RADIUS}, t={BYZANTINE_BUDGET}")
+    print(f"{'d':>4}  {'κ':>3}  {'decision':<18} {'conf':<5} {'KB/node':>8}  cost")
+    costs = []
+    rows = []
+    for step in range(0, 13):
+        d = step * 0.5
+        deployment = drone_deployment(FLEET_SIZE, d, RADIUS, seed=7)
+        result = run_trial(deployment.graph, t=BYZANTINE_BUDGET)
+        verdict = result.verdicts[0]
+        kb = result.mean_kb_sent()
+        costs.append(kb)
+        rows.append((d, result.ground_truth.connectivity, verdict, kb))
+    scale = max(costs)
+    for d, kappa, verdict, kb in rows:
+        flag = "!" if verdict.decision is Decision.PARTITIONABLE else " "
+        print(
+            f"{d:>4.1f}  {kappa:>3}  {str(verdict.decision):<18} "
+            f"{str(verdict.confirmed):<5} {kb:>8.1f}  {bar(kb, scale)}{flag}"
+        )
+    print()
+    print("Reading the table: while the scatters overlap, connectivity is")
+    print("high and NECTAR answers NOT_PARTITIONABLE.  As they separate,")
+    print("κ drops through the Byzantine budget (PARTITIONABLE — regroup")
+    print("now!) and finally the mesh truly splits (confirmed=True).")
+    print("Note the network cost also falls with distance, as in Fig. 4.")
+
+
+if __name__ == "__main__":
+    main()
+
+
+def test_drone_fleet_flips_decision():
+    """The fleet must see NOT_PARTITIONABLE near, PARTITIONABLE+confirmed far."""
+    near = run_trial(drone_deployment(FLEET_SIZE, 0.0, RADIUS, seed=7).graph, t=2)
+    far = run_trial(drone_deployment(FLEET_SIZE, 6.0, RADIUS, seed=7).graph, t=2)
+    assert near.verdicts[0].decision is Decision.NOT_PARTITIONABLE
+    assert far.verdicts[0].decision is Decision.PARTITIONABLE
+    assert far.verdicts[0].confirmed

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Partition detection without signatures (the paper's conjecture).
+
+The paper's conclusion speculates that Byzantine partition detection
+"can be accomplished without signatures in synchronous networks,
+albeit at a significant cost".  This example runs our constructive
+take side by side with signed NECTAR: edges are certified by t + 1
+vertex-disjoint delivery paths from *both* endpoints (Dolev-style)
+instead of chained signatures — same verdicts on well-connected
+graphs, at a steep messaging premium.
+
+Run:  python examples/signature_free.py
+"""
+
+from repro import harary_graph, run_trial
+from repro.extensions.unsigned import (
+    build_unsigned_protocols,
+    unsigned_round_count,
+)
+from repro.net.simulator import SyncNetwork
+from repro.types import Decision
+
+K, T = 4, 1
+
+
+def compare(n: int):
+    graph = harary_graph(K, n)
+    signed = run_trial(graph, t=T, with_ground_truth=False)
+    signed_msgs = sum(signed.stats.messages_sent.values())
+    network = SyncNetwork(graph, build_unsigned_protocols(graph, T))
+    verdicts = network.run(unsigned_round_count(n))
+    unsigned_msgs = sum(network.stats.messages_sent.values())
+    agree = {v.decision for v in signed.verdicts.values()} == {
+        v.decision for v in verdicts.values()
+    }
+    return signed.verdicts[0].decision, agree, signed_msgs, unsigned_msgs
+
+
+def main() -> None:
+    print(f"Harary graphs, κ={K}, t={T}: signed vs signature-free NECTAR\n")
+    print(f"{'n':>4}  {'decision':<18} {'agree':<6} {'signed msgs':>11} "
+          f"{'unsigned msgs':>13} {'premium':>8}")
+    for n in (8, 10, 12, 14):
+        decision, agree, signed_msgs, unsigned_msgs = compare(n)
+        print(
+            f"{n:>4}  {str(decision):<18} {str(agree):<6} {signed_msgs:>11} "
+            f"{unsigned_msgs:>13} {unsigned_msgs / signed_msgs:>7.1f}x"
+        )
+    print()
+    print("Why it works: a claim carried by t+1 vertex-disjoint paths has")
+    print("at least one fully-correct route, so it is authentic — Dolev's")
+    print("argument.  Requiring claims from BOTH endpoints replaces the")
+    print("co-signed neighborhood proof.  Why it costs: every copy drags")
+    print("its path along, and distinct paths multiply.")
+
+
+if __name__ == "__main__":
+    main()
+
+
+def test_signature_free_agrees_and_costs_more():
+    decision, agree, signed_msgs, unsigned_msgs = compare(10)
+    assert decision is Decision.NOT_PARTITIONABLE
+    assert agree
+    assert unsigned_msgs > signed_msgs

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` uses pyproject.toml (PEP 660) when wheel is
+available; this shim lets ``python setup.py develop`` work offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Byzantine behaviours and placement strategies."""
+
+from repro.adversary.behaviors import (
+    EdgeConcealingNectarNode,
+    FictitiousEdgeNectarNode,
+    ForgingNectarNode,
+    JunkInjectorNode,
+    OverChainedNectarNode,
+    SaturatingMtgNode,
+    SilentNode,
+    SpamNectarNode,
+    StaleChainNectarNode,
+    TwoFacedMtgNode,
+    TwoFacedMtgv2Node,
+    TwoFacedNectarNode,
+)
+from repro.adversary.placement import (
+    balanced_placement,
+    random_placement,
+    vertex_cut_placement,
+)
+
+__all__ = [
+    "EdgeConcealingNectarNode",
+    "FictitiousEdgeNectarNode",
+    "ForgingNectarNode",
+    "JunkInjectorNode",
+    "OverChainedNectarNode",
+    "SaturatingMtgNode",
+    "SilentNode",
+    "SpamNectarNode",
+    "StaleChainNectarNode",
+    "TwoFacedMtgNode",
+    "TwoFacedMtgv2Node",
+    "TwoFacedNectarNode",
+    "balanced_placement",
+    "random_placement",
+    "vertex_cut_placement",
+]

@@ -1,0 +1,307 @@
+"""The Byzantine attack library (Sec. V-D and the model of Sec. II).
+
+Byzantine nodes "may deviate arbitrarily from their specified
+protocol, e.g., they may drop, modify, or inject messages at any
+time", but cannot forge signatures, create channels, or break
+synchrony.  Each class here is one concrete deviation, implemented as
+a :class:`repro.net.simulator.RoundProtocol` (often by subclassing the
+honest protocol and overriding its deviation hooks), so attacks run on
+both execution backends.
+
+Paper-relevant behaviours:
+
+* :class:`SilentNode` — a crash-like Byzantine node (drops everything).
+* :class:`TwoFacedNectarNode` / :class:`TwoFacedMtgv2Node` — "Byzantine
+  nodes act correctly toward one part of the subgraph of correct
+  nodes, and as crashed nodes for the other part" (the Fig. 8 attack).
+* :class:`SaturatingMtgNode` — "send filters full of 1 values to lead
+  correct nodes to conclude that the system is connected".
+* :class:`EdgeConcealingNectarNode` — omit some of one's own edges,
+  lowering the perceived connectivity (Sec. IV, Byzantine deviations).
+* :class:`FictitiousEdgeNectarNode` — a Byzantine pair declares a fake
+  edge between themselves (possible per the model, harmless per the
+  paper).
+* :class:`StaleChainNectarNode` / :class:`OverChainedNectarNode` —
+  relay with wrong-length chains (late/early messages; must be
+  rejected by l. 14).
+* :class:`ForgingNectarNode` — attempts an actual forgery of a proof
+  involving a correct node; the signature layer defeats it.
+* :class:`SpamNectarNode` — re-announces its own edges every round to
+  inflate traffic (defeated by receiver-side dedup; measured by the
+  dedup ablation).
+* :class:`JunkInjectorNode` — ships unparseable garbage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.mtg import MtgNode
+from repro.baselines.mtgv2 import Mtgv2Node
+from repro.core.messages import EdgeAnnouncement, NectarBatch
+from repro.core.nectar import NectarNode
+from repro.crypto.chain import ChainLink, extend_chain
+from repro.crypto.proofs import NeighborhoodProof, make_proof, proof_bytes
+from repro.crypto.signer import KeyPair, SignatureScheme
+from repro.net.message import Outgoing, RawPayload
+from repro.net.simulator import RoundProtocol
+from repro.types import NodeId
+
+
+class SilentNode(RoundProtocol):
+    """A Byzantine node that sends nothing at all (crash-like).
+
+    The least detectable misbehaviour: indistinguishable from a node
+    whose edges simply were never announced.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        return []
+
+    def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
+        pass
+
+    def conclude(self) -> None:
+        return None
+
+
+class JunkInjectorNode(RoundProtocol):
+    """Sends random unparseable bytes to every neighbor each round."""
+
+    def __init__(self, node_id: NodeId, neighbors: Iterable[NodeId], seed: int = 0,
+                 junk_size: int = 64) -> None:
+        self._node_id = node_id
+        self._neighbors = sorted(set(neighbors))
+        self._rng = random.Random(("junk", node_id, seed).__repr__())
+        self._junk_size = junk_size
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        return [
+            Outgoing(
+                destination=neighbor,
+                payload=RawPayload(data=self._rng.randbytes(self._junk_size)),
+            )
+            for neighbor in self._neighbors
+        ]
+
+    def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
+        pass
+
+    def conclude(self) -> None:
+        return None
+
+
+# ----------------------------------------------------------------------
+# NECTAR deviations
+# ----------------------------------------------------------------------
+class TwoFacedNectarNode(NectarNode):
+    """Behaves correctly toward one side, crashed toward the other.
+
+    This is the NECTAR/MtGv2 attack of Fig. 8: the Byzantine bridges
+    relay faithfully for one part of the partitioned correct subgraph
+    and stay mute toward the other.
+
+    Args:
+        silent_towards: neighbor ids that never receive anything.
+        (remaining arguments as :class:`NectarNode`)
+    """
+
+    def __init__(self, *args, silent_towards: Iterable[NodeId] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._silent_towards = frozenset(silent_towards)
+
+    def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:
+        return outgoing.destination not in self._silent_towards
+
+
+class EdgeConcealingNectarNode(NectarNode):
+    """Never announces its edges toward ``concealed`` neighbors.
+
+    "Edges that connect two Byzantine nodes might never be discovered,
+    which might decrease the graph's vertex connectivity below t"
+    (Sec. IV).  The node still relays other nodes' announcements
+    faithfully, making the omission hard to attribute.
+    """
+
+    def __init__(self, *args, concealed: Iterable[NodeId] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._concealed = frozenset(concealed)
+
+    def _initial_proofs(self) -> list[NeighborhoodProof]:
+        return [
+            proof
+            for proof in super()._initial_proofs()
+            if not (proof.endpoints() - {self.node_id}) & self._concealed
+        ]
+
+
+class FictitiousEdgeNectarNode(NectarNode):
+    """Announces a fabricated edge to a colluding Byzantine partner.
+
+    Both partners hold their own private keys, so together they can
+    mint a valid :class:`NeighborhoodProof` for an edge that does not
+    exist — exactly the forgery boundary the model allows.  Per the
+    paper this "is not an issue because these edges will never
+    increase the vertex-connectivity above t if the subgraph of
+    correct nodes is partitioned".
+
+    Args:
+        partner_key: the colluding partner's key pair (shared inside
+            the coalition).
+        scheme: needed positionally before it reaches the base class.
+    """
+
+    def __init__(self, *args, partner_key: KeyPair, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._partner_key = partner_key
+
+    def _initial_proofs(self) -> list[NeighborhoodProof]:
+        proofs = list(super()._initial_proofs())
+        fake = make_proof(self._scheme, self._key_pair, self._partner_key)
+        proofs.append(fake)
+        return proofs
+
+
+class StaleChainNectarNode(NectarNode):
+    """Relays without appending its signature (chains one link short).
+
+    Violates the invariant lengthSign(msg) = R; every correct receiver
+    must reject the relays (Algorithm 1, l. 14).  Its own round-1
+    announcements remain valid.
+    """
+
+    def _relay_chain(
+        self, proof: NeighborhoodProof, chain: tuple[ChainLink, ...]
+    ) -> tuple[ChainLink, ...]:
+        if not chain:
+            return super()._relay_chain(proof, chain)
+        return chain  # forward unmodified: one link too short
+
+
+class OverChainedNectarNode(NectarNode):
+    """Appends two signature layers per relay (chains one link long).
+
+    The dual of :class:`StaleChainNectarNode`: messages appear to come
+    from the future and must equally be rejected.
+    """
+
+    def _relay_chain(
+        self, proof: NeighborhoodProof, chain: tuple[ChainLink, ...]
+    ) -> tuple[ChainLink, ...]:
+        extended = super()._relay_chain(proof, chain)
+        return super()._relay_chain(proof, extended)
+
+
+class ForgingNectarNode(NectarNode):
+    """Attempts to forge an edge proof naming a correct victim.
+
+    It signs *both* proof slots with its own key — the best it can do
+    without the victim's private key.  Verification of the victim's
+    slot fails at every correct receiver, so the fake edge never
+    enters any discovered graph (asserted by tests).
+    """
+
+    def __init__(self, *args, victim: NodeId, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if victim == self.node_id:
+            raise ValueError("the victim must be another node")
+        self._victim = victim
+
+    def _initial_proofs(self) -> list[NeighborhoodProof]:
+        proofs = list(super()._initial_proofs())
+        # Forge by signing the victim's slot with our own key.
+        forged = make_proof(self._scheme, self._key_pair, self._key_pair_as(self._victim))
+        proofs.append(forged)
+        return proofs
+
+    def _key_pair_as(self, claimed_id: NodeId) -> KeyPair:
+        """Our own secret dressed up with someone else's id."""
+        return KeyPair(
+            node_id=claimed_id,
+            private_key=self._key_pair.private_key,
+            public_key=self._key_pair.public_key,
+        )
+
+
+class SpamNectarNode(NectarNode):
+    """Re-announces its whole neighborhood every round.
+
+    Chains are padded with self-signatures to match the round number,
+    so each copy passes the structural checks, is verified once, and is
+    then dropped as a duplicate.  Used by the dedup ablation to measure
+    the cost of announcement spam.
+    """
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        outgoing = super().begin_round(round_number)
+        if round_number == 1:
+            return outgoing
+        announcements = []
+        for proof in self._initial_proofs():
+            chain: tuple[ChainLink, ...] = ()
+            for _ in range(round_number):
+                chain = extend_chain(
+                    self._scheme, self._key_pair, proof_bytes(proof), chain
+                )
+            announcements.append(EdgeAnnouncement(proof=proof, chain=chain))
+        if announcements:
+            batch = NectarBatch(announcements=tuple(announcements))
+            for neighbor in sorted(self.neighbors):
+                outgoing.append(Outgoing(destination=neighbor, payload=batch))
+        return [
+            out for out in outgoing if self._keep_outgoing(out, round_number)
+        ]
+
+
+# ----------------------------------------------------------------------
+# MtG deviations
+# ----------------------------------------------------------------------
+class SaturatingMtgNode(MtgNode):
+    """Gossips an all-ones Bloom filter (the Sec. V-D MtG attack).
+
+    Every membership test on a saturated filter succeeds, so receivers
+    conclude that all n processes are reachable.
+    """
+
+    def _gossip_filter(self) -> BloomFilter:
+        poisoned = self.reachable_filter.copy()
+        poisoned.saturate()
+        return poisoned
+
+
+class TwoFacedMtgNode(MtgNode):
+    """MtG node that gossips to one side only."""
+
+    def __init__(self, *args, silent_towards: Iterable[NodeId] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._silent_towards = frozenset(silent_towards)
+
+    def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:
+        return outgoing.destination not in self._silent_towards
+
+
+# ----------------------------------------------------------------------
+# MtGv2 deviations
+# ----------------------------------------------------------------------
+class TwoFacedMtgv2Node(Mtgv2Node):
+    """MtGv2 node that forwards signed ids to one side only."""
+
+    def __init__(self, *args, silent_towards: Iterable[NodeId] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._silent_towards = frozenset(silent_towards)
+
+    def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:
+        return outgoing.destination not in self._silent_towards

@@ -1,0 +1,92 @@
+"""Byzantine placement strategies.
+
+Where the t Byzantine nodes sit decides how much damage they can do
+(Sec. III-B): a 1-Byzantine-partitionable star is only broken when the
+*center* is Byzantine.  These helpers produce the placements used by
+the evaluation: uniformly random ("aleatory placement", Sec. V-D),
+balanced across the two drone scatters, and the worst case — a minimum
+vertex cut.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.errors import ExperimentError
+from repro.graphs.connectivity import minimum_vertex_cut
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+
+def random_placement(
+    graph: Graph, t: int, seed: int = 0, forbidden: Iterable[NodeId] = ()
+) -> frozenset[NodeId]:
+    """Pick t Byzantine nodes uniformly at random.
+
+    Args:
+        graph: the topology.
+        t: how many nodes turn Byzantine.
+        seed: RNG seed.
+        forbidden: ids that must stay correct (e.g. observed nodes).
+
+    Raises:
+        ExperimentError: when fewer than t candidates remain.
+    """
+    candidates = [v for v in graph.nodes() if v not in set(forbidden)]
+    if t > len(candidates):
+        raise ExperimentError(
+            f"cannot place {t} Byzantine nodes among {len(candidates)} candidates"
+        )
+    rng = random.Random(("placement-random", t, seed).__repr__())
+    return frozenset(rng.sample(candidates, t))
+
+
+def balanced_placement(
+    groups: Iterable[Iterable[NodeId]], t: int, seed: int = 0
+) -> frozenset[NodeId]:
+    """Spread t Byzantine nodes as evenly as possible over groups.
+
+    Used for the MtG saturation experiment, where the paper "take[s]
+    care of equally distributing the Byzantine nodes between the two
+    parts" (Sec. V-D).
+    """
+    pools = [sorted(set(group)) for group in groups]
+    if not pools:
+        raise ExperimentError("balanced placement needs at least one group")
+    if t > sum(len(pool) for pool in pools):
+        raise ExperimentError("not enough nodes to host the Byzantine set")
+    rng = random.Random(("placement-balanced", t, seed).__repr__())
+    for pool in pools:
+        rng.shuffle(pool)
+    chosen: list[NodeId] = []
+    index = 0
+    while len(chosen) < t:
+        pool = pools[index % len(pools)]
+        if pool:
+            chosen.append(pool.pop())
+        index += 1
+        if index > 10 * t + 10:  # all remaining pools empty
+            raise ExperimentError("not enough nodes to host the Byzantine set")
+    return frozenset(chosen)
+
+
+def vertex_cut_placement(graph: Graph, t: int) -> frozenset[NodeId]:
+    """Place Byzantine nodes on a minimum vertex cut (worst case).
+
+    When κ(G) <= t this yields a set that *can* disconnect the correct
+    nodes — the situation Safety (Def. 3) protects against.
+
+    Raises:
+        ExperimentError: when the minimum cut is larger than t (the
+            adversary cannot cut the graph) or no cut exists.
+    """
+    try:
+        cut = minimum_vertex_cut(graph)
+    except ValueError as exc:
+        raise ExperimentError(str(exc)) from exc
+    if len(cut) > t:
+        raise ExperimentError(
+            f"minimum cut has {len(cut)} nodes, above the budget t={t}"
+        )
+    return frozenset(cut)

@@ -1,0 +1,30 @@
+"""Baseline partition detectors: MindTheGap and its signed variant."""
+
+from repro.baselines.bloom import BloomFilter, optimal_parameters
+from repro.baselines.mtg import (
+    DEFAULT_FP_RATE,
+    BloomPayload,
+    MtgNode,
+    mtg_epoch_count,
+)
+from repro.baselines.mtgv2 import (
+    Mtgv2Node,
+    SignedId,
+    SignedIdsPayload,
+    mtgv2_epoch_count,
+    signed_id_message,
+)
+
+__all__ = [
+    "BloomFilter",
+    "optimal_parameters",
+    "DEFAULT_FP_RATE",
+    "BloomPayload",
+    "MtgNode",
+    "mtg_epoch_count",
+    "Mtgv2Node",
+    "SignedId",
+    "SignedIdsPayload",
+    "mtgv2_epoch_count",
+    "signed_id_message",
+]

@@ -1,0 +1,143 @@
+"""Bloom filters, the substrate of MindTheGap [6].
+
+"MtG has a low network consumption because it uses Bloom filters to
+represent a list of process IDs" (Sec. V-A) — and precisely because a
+Bloom filter is an unauthenticated bit set, a Byzantine node "can send
+filters full of 1 values to lead correct nodes to conclude that the
+system is connected" (Sec. V-D).  Both properties matter here, so the
+filter supports union, saturation and membership counting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
+    """Classic (m, k) sizing for a Bloom filter.
+
+    Args:
+        expected_items: number of elements the filter should hold.
+        false_positive_rate: target false-positive probability.
+
+    Returns:
+        ``(bit_count, hash_count)`` with bit_count rounded up to a
+        multiple of 8 so filters pack evenly into bytes.
+    """
+    if expected_items < 1:
+        raise ValueError("expected_items must be positive")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ValueError("false_positive_rate must lie strictly in (0, 1)")
+    ln2 = math.log(2.0)
+    bits = math.ceil(-expected_items * math.log(false_positive_rate) / (ln2 * ln2))
+    bits = ((bits + 7) // 8) * 8
+    hashes = max(1, round(bits / expected_items * ln2))
+    return bits, hashes
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over integer items.
+
+    Args:
+        bit_count: number of bits (multiple of 8).
+        hash_count: number of hash functions.
+    """
+
+    def __init__(self, bit_count: int, hash_count: int) -> None:
+        if bit_count < 8 or bit_count % 8 != 0:
+            raise ValueError("bit_count must be a positive multiple of 8")
+        if hash_count < 1:
+            raise ValueError("hash_count must be positive")
+        self.bit_count = bit_count
+        self.hash_count = hash_count
+        self._bits = bytearray(bit_count // 8)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _positions(self, item: int) -> list[int]:
+        encoded = item.to_bytes(8, "big", signed=True)
+        positions = []
+        for index in range(self.hash_count):
+            digest = hashlib.sha256(index.to_bytes(2, "big") + encoded).digest()
+            positions.append(int.from_bytes(digest[:8], "big") % self.bit_count)
+        return positions
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def add(self, item: int) -> None:
+        """Insert an item."""
+        for position in self._positions(item):
+            self._bits[position // 8] |= 1 << (position % 8)
+
+    def __contains__(self, item: int) -> bool:
+        return all(
+            self._bits[position // 8] & (1 << (position % 8))
+            for position in self._positions(item)
+        )
+
+    def union_with(self, other: "BloomFilter") -> bool:
+        """Merge ``other`` into this filter; True if any bit changed.
+
+        Raises:
+            ValueError: on mismatched parameters (a receiver cannot
+                meaningfully merge a filter of another geometry; MtG
+                fixes the geometry system-wide).
+        """
+        if (other.bit_count, other.hash_count) != (self.bit_count, self.hash_count):
+            raise ValueError("cannot union Bloom filters of different geometry")
+        changed = False
+        for index, chunk in enumerate(other._bits):
+            merged = self._bits[index] | chunk
+            if merged != self._bits[index]:
+                self._bits[index] = merged
+                changed = True
+        return changed
+
+    def saturate(self) -> None:
+        """Set every bit — the MtG attack of Sec. V-D."""
+        for index in range(len(self._bits)):
+            self._bits[index] = 0xFF
+
+    def ones(self) -> int:
+        """Number of set bits."""
+        return sum(bin(chunk).count("1") for chunk in self._bits)
+
+    def is_saturated(self) -> bool:
+        """Whether every bit is set."""
+        return all(chunk == 0xFF for chunk in self._bits)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The raw bit array."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, bit_count: int, hash_count: int, data: bytes) -> "BloomFilter":
+        """Rebuild a filter from its raw bit array.
+
+        Raises:
+            ValueError: when the data length does not match bit_count.
+        """
+        instance = cls(bit_count, hash_count)
+        if len(data) != bit_count // 8:
+            raise ValueError("bit array length does not match bit_count")
+        instance._bits = bytearray(data)
+        return instance
+
+    def copy(self) -> "BloomFilter":
+        """An independent copy."""
+        return BloomFilter.from_bytes(self.bit_count, self.hash_count, self.to_bytes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (
+            self.bit_count == other.bit_count
+            and self.hash_count == other.hash_count
+            and self._bits == other._bits
+        )

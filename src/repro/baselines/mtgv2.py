@@ -1,0 +1,209 @@
+"""MtGv2 — MindTheGap hardened with signatures (Sec. V-A).
+
+"We decided to also consider a strengthened version of MtG as a second
+baseline, where MtG's Bloom filters are replaced by a list of signed
+process IDs.  To minimize the increased network cost associated to
+this modification, we made sure that nodes only send a given signed ID
+once to their neighbors per epoch."
+
+Each process initially holds only its own signed id σ_i(i).  On first
+reception of a valid signed id it stores it and forwards it once to
+every neighbor (except the one it came from) in the next epoch.  After
+the last epoch a node decides CONNECTED iff it collected all n ids.
+
+Signatures stop the filter-saturation attack — a Byzantine node cannot
+fabricate σ_j(j) for a correct j — but MtGv2 still lacks agreement
+under the two-faced attack of Sec. V-D, which Fig. 8 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.crypto.signer import KeyPair, PublicDirectory, SignatureScheme
+from repro.crypto.sizes import WireProfile
+from repro.errors import ProtocolError
+from repro.net.codec import (
+    ByteReader,
+    PayloadCodec,
+    pack_node_id,
+    register_payload_codec,
+)
+from repro.net.message import Outgoing
+from repro.net.simulator import RoundProtocol
+from repro.types import BaselineDecision, NodeId
+
+_ID_DOMAIN = b"repro-mtgv2-id|"
+
+
+def signed_id_message(node_id: NodeId) -> bytes:
+    """The byte string a process signs to attest its own liveness."""
+    return _ID_DOMAIN + node_id.to_bytes(2, "big")
+
+
+@dataclass(frozen=True)
+class SignedId:
+    """A process id signed by its owner."""
+
+    node_id: NodeId
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class SignedIdsPayload:
+    """A batch of signed ids gossiped in one epoch."""
+
+    entries: tuple[SignedId, ...]
+
+    def encoded_size(self, profile: WireProfile) -> int:
+        return (
+            profile.epoch_header_bytes
+            + 2
+            + len(self.entries) * profile.signed_id_bytes()
+        )
+
+
+class SignedIdsCodec(PayloadCodec):
+    """Binary codec for :class:`SignedIdsPayload` (tag 3)."""
+
+    tag = 3
+    payload_type = SignedIdsPayload
+
+    def encode(self, payload: SignedIdsPayload, profile: WireProfile) -> bytes:
+        parts = [bytes(profile.epoch_header_bytes)]
+        parts.append(len(payload.entries).to_bytes(2, "big"))
+        for entry in payload.entries:
+            if len(entry.signature) != profile.signature_bytes:
+                raise ValueError("signature width does not match the wire profile")
+            parts.append(pack_node_id(entry.node_id))
+            parts.append(entry.signature)
+        return b"".join(parts)
+
+    def decode(self, data: bytes, profile: WireProfile) -> SignedIdsPayload:
+        reader = ByteReader(data)
+        reader.take(profile.epoch_header_bytes)
+        count = reader.take_u16()
+        entries = tuple(
+            SignedId(
+                node_id=reader.take_u16(),
+                signature=reader.take(profile.signature_bytes),
+            )
+            for _ in range(count)
+        )
+        reader.finish()
+        return SignedIdsPayload(entries=entries)
+
+
+register_payload_codec(SignedIdsCodec())
+
+
+def mtgv2_epoch_count(n: int) -> int:
+    """Epochs needed for convergence on any connected topology."""
+    return max(1, n - 1)
+
+
+class Mtgv2Node(RoundProtocol):
+    """One MtGv2 process.
+
+    Args:
+        node_id: this process's id.
+        n: total number of processes.
+        neighbors: Γ(i).
+        key_pair: the process's signing keys.
+        scheme: the deployment's signature scheme.
+        directory: the public-key directory.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        n: int,
+        neighbors: Iterable[NodeId],
+        key_pair: KeyPair,
+        scheme: SignatureScheme,
+        directory: PublicDirectory,
+    ) -> None:
+        if key_pair.node_id != node_id:
+            raise ProtocolError("key pair does not belong to this node")
+        self._node_id = node_id
+        self._n = n
+        self._neighbors = frozenset(neighbors)
+        if node_id in self._neighbors:
+            raise ProtocolError("a node cannot neighbor itself")
+        self._scheme = scheme
+        self._directory = directory
+        own = SignedId(
+            node_id=node_id,
+            signature=scheme.sign(key_pair, signed_id_message(node_id)),
+        )
+        self._known: dict[NodeId, SignedId] = {node_id: own}
+        # Newly learned ids to forward next epoch, with their source
+        # (None for our own id, which goes to every neighbor).
+        self._pending: list[tuple[SignedId, NodeId | None]] = [(own, None)]
+        self._decided = False
+
+    # ------------------------------------------------------------------
+    # RoundProtocol interface (round == epoch)
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def known_ids(self) -> frozenset[NodeId]:
+        """Ids collected so far (tests and reports)."""
+        return frozenset(self._known)
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        if not self._pending:
+            return []
+        pending = self._pending
+        self._pending = []
+        outgoing = []
+        for neighbor in sorted(self._neighbors):
+            entries = tuple(
+                signed_id
+                for signed_id, source in pending
+                if source != neighbor
+            )
+            if entries:
+                outgoing.append(
+                    Outgoing(
+                        destination=neighbor,
+                        payload=SignedIdsPayload(entries=entries),
+                    )
+                )
+        return [out for out in outgoing if self._keep_outgoing(out, round_number)]
+
+    def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
+        if not isinstance(payload, SignedIdsPayload):
+            return
+        for entry in payload.entries:
+            if entry.node_id in self._known:
+                continue
+            if not 0 <= entry.node_id < self._n:
+                continue
+            if entry.node_id not in self._directory:
+                continue
+            public = self._directory.public_key_of(entry.node_id)
+            message = signed_id_message(entry.node_id)
+            if not self._scheme.verify(public, message, entry.signature):
+                continue  # unforgeable: fabricated ids die here
+            self._known[entry.node_id] = entry
+            self._pending.append((entry, sender))
+
+    def conclude(self) -> BaselineDecision:
+        if self._decided:
+            raise ProtocolError("decide() is one-shot")
+        self._decided = True
+        if len(self._known) == self._n:
+            return BaselineDecision.CONNECTED
+        return BaselineDecision.PARTITIONED
+
+    # ------------------------------------------------------------------
+    # Hook for Byzantine subclasses
+    # ------------------------------------------------------------------
+    def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:
+        """Final say on each send; honest nodes send everything."""
+        return True

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday uses of the library::
+
+    python -m repro check --family harary --n 20 --k 4 --t 1
+    python -m repro check --drone --n 20 --distance 3.0 --radius 1.8 --t 2
+    python -m repro figure fig8
+    python -m repro topologies --n 24 --k 4
+    python -m repro attack --n 21 --t 2
+
+``check`` answers the operational question — is this deployment safe
+against t Byzantine nodes? — with NECTAR's verdict and the run's
+cost.  ``figure`` regenerates one paper artefact.  ``topologies``
+describes every built-in family.  ``attack`` replays the Fig. 8
+scenario once and prints who got fooled.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.experiments import figures as figures_module
+from repro.experiments.accuracy import success_rate
+from repro.experiments.report import FigureData
+from repro.experiments.runner import run_trial
+from repro.experiments.scenarios import (
+    TOPOLOGY_FAMILIES,
+    bridged_partition_scenario,
+    build_topology,
+)
+from repro.graphs.analysis import summarize
+from repro.graphs.generators.drone import drone_graph
+from repro.types import Decision
+
+#: figure name -> callable, mirroring DESIGN.md's experiment index.
+FIGURES: dict[str, Callable[[], FigureData]] = {
+    "fig3": figures_module.fig3_regular_cost,
+    "fig3-random": figures_module.fig3_random_regular,
+    "fig4": figures_module.fig4_drone_nectar,
+    "fig5": figures_module.fig5_drone_mtgv2,
+    "fig6": figures_module.fig6_drone_scaling_nectar,
+    "fig7": figures_module.fig7_drone_scaling_mtgv2,
+    "fig8": figures_module.fig8_byzantine_resilience,
+    "topology-comparison": figures_module.topology_cost_comparison,
+    "connectivity-resilience": figures_module.connectivity_resilience,
+    "ablation-rounds": figures_module.ablation_round_count,
+    "ablation-spam": figures_module.ablation_spam_dedup,
+    "ablation-batching": figures_module.ablation_batching,
+    "ablation-sigsize": figures_module.ablation_signature_size,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NECTAR: Byzantine-resilient partition detection (ICDCS 2024)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="run NECTAR on a topology and print the verdict"
+    )
+    check.add_argument(
+        "--family",
+        choices=sorted(TOPOLOGY_FAMILIES),
+        help="built-in topology family (see `topologies`)",
+    )
+    check.add_argument("--drone", action="store_true", help="drone scenario instead")
+    check.add_argument("--n", type=int, required=True, help="number of nodes")
+    check.add_argument("--k", type=int, default=4, help="connectivity parameter")
+    check.add_argument("--t", type=int, default=1, help="Byzantine budget")
+    check.add_argument("--distance", type=float, default=0.0, help="drone barycenter distance")
+    check.add_argument("--radius", type=float, default=1.8, help="drone radio range")
+    check.add_argument("--seed", type=int, default=0)
+
+    figure = commands.add_parser("figure", help="regenerate one paper artefact")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument(
+        "--spark", action="store_true", help="also print unicode sparklines"
+    )
+
+    drone_map = commands.add_parser(
+        "map", help="render a drone deployment as an ASCII map"
+    )
+    drone_map.add_argument("--n", type=int, default=20)
+    drone_map.add_argument("--distance", type=float, default=3.0)
+    drone_map.add_argument("--radius", type=float, default=1.2)
+    drone_map.add_argument("--seed", type=int, default=0)
+
+    topologies = commands.add_parser(
+        "topologies", help="describe every built-in topology family"
+    )
+    topologies.add_argument("--n", type=int, default=24)
+    topologies.add_argument("--k", type=int, default=4)
+
+    attack = commands.add_parser(
+        "attack", help="replay the Fig. 8 bridge attack once"
+    )
+    attack.add_argument("--n", type=int, default=21)
+    attack.add_argument("--t", type=int, default=2)
+    attack.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    if args.drone:
+        graph = drone_graph(args.n, args.distance, args.radius, seed=args.seed)
+        label = f"drone(n={args.n}, d={args.distance}, radius={args.radius})"
+    elif args.family:
+        graph = build_topology(args.family, args.n, args.k, seed=args.seed)
+        label = f"{args.family}(n={args.n}, k={args.k})"
+    else:
+        print("error: pass --family or --drone")
+        return 2
+    result = run_trial(graph, t=args.t, seed=args.seed)
+    verdict = result.verdicts[0]
+    truth = result.ground_truth
+    print(f"topology : {label}  [{summarize(graph).describe()}]")
+    print(f"verdict  : {verdict.decision} (confirmed={verdict.confirmed})")
+    print(f"evidence : reachable={verdict.reachable}/{graph.n}, κ(view)={verdict.connectivity}")
+    print(f"truth    : κ={truth.connectivity}, {args.t}-Byzantine-partitionable={truth.byzantine_partitionable}")
+    print(f"cost     : {result.mean_kb_sent():.1f} KB sent per node")
+    return 0 if verdict.decision is Decision.NOT_PARTITIONABLE else 1
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    figure = FIGURES[args.name]()
+    print(figure.render())
+    if args.spark:
+        from repro.viz import figure_sparklines
+
+        print()
+        print(figure_sparklines(figure))
+    return 0
+
+
+def _run_map(args: argparse.Namespace) -> int:
+    from repro.graphs.generators.drone import drone_deployment
+    from repro.viz import drone_map
+
+    deployment = drone_deployment(
+        args.n, args.distance, args.radius, seed=args.seed
+    )
+    print(drone_map(deployment))
+    result = run_trial(deployment.graph, t=1, seed=args.seed)
+    verdict = result.verdicts[0]
+    print(
+        f"NECTAR (t=1): {verdict.decision} "
+        f"(confirmed={verdict.confirmed}, κ={result.ground_truth.connectivity})"
+    )
+    return 0
+
+
+def _run_topologies(args: argparse.Namespace) -> int:
+    print(f"built-in families at n={args.n}, k={args.k}:")
+    for name in sorted(TOPOLOGY_FAMILIES):
+        try:
+            graph = build_topology(name, args.n, args.k)
+        except Exception as exc:  # noqa: BLE001 - report, keep listing
+            print(f"  {name:<20} unavailable: {exc}")
+            continue
+        print(f"  {name:<20} {summarize(graph).describe()}")
+    return 0
+
+
+def _run_attack(args: argparse.Namespace) -> int:
+    scenario = bridged_partition_scenario(args.n, args.t, seed=args.seed)
+    rate = figures_module._nectar_attack_rate(scenario, seed=args.seed)
+    print(
+        f"bridge attack: n={args.n}, t={args.t} two-faced bridges "
+        f"between two islands"
+    )
+    print(f"NECTAR success rate: {rate:.0%}")
+    mtgv2 = figures_module._mtgv2_attack_rate(scenario, seed=args.seed)
+    print(f"MtGv2 success rate : {mtgv2:.0%}")
+    mtg = figures_module._mtg_attack_rate(args.n, args.t, 1.2, seed=args.seed)
+    print(f"MtG success rate   : {mtg:.0%}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "check": _run_check,
+        "figure": _run_figure,
+        "map": _run_map,
+        "topologies": _run_topologies,
+        "attack": _run_attack,
+    }
+    return handlers[args.command](args)

@@ -1,0 +1,22 @@
+"""NECTAR: the paper's primary contribution (Algorithm 1)."""
+
+from repro.core.adjacency import DiscoveredGraph
+from repro.core.complexity import TrafficPrediction, predict_nectar_traffic
+from repro.core.decision import clear_connectivity_cache, decide
+from repro.core.messages import EdgeAnnouncement, NectarBatch
+from repro.core.nectar import NectarNode, nectar_round_count
+from repro.core.validation import AnnouncementValidator, ValidationMode
+
+__all__ = [
+    "DiscoveredGraph",
+    "TrafficPrediction",
+    "predict_nectar_traffic",
+    "clear_connectivity_cache",
+    "decide",
+    "EdgeAnnouncement",
+    "NectarBatch",
+    "NectarNode",
+    "nectar_round_count",
+    "AnnouncementValidator",
+    "ValidationMode",
+]

@@ -1,0 +1,97 @@
+"""NECTAR's decision phase (Algorithm 1, ll. 16-23).
+
+After the n - 1 propagation rounds a node computes, over its
+discovered graph G_i:
+
+* ``r`` — the number of reachable nodes (``DetectReachableNode``);
+* ``k`` — the vertex connectivity (``VertexConnectivity``);
+
+and decides NOT_PARTITIONABLE iff ``k > t and r = n``, otherwise
+PARTITIONABLE with ``confirmed = (r != n)``.
+
+Because Lemma 2 guarantees all correct nodes end with the *same*
+discovered graph whenever their subgraph is connected, the (costly)
+connectivity computation is shared across nodes of a run through a
+small memoisation keyed by the edge set.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.adjacency import DiscoveredGraph
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.graph import Graph
+from repro.types import Decision, Edge, Verdict
+
+
+@functools.lru_cache(maxsize=128)
+def _cached_connectivity(
+    n: int, edges: frozenset[Edge], cutoff: int | None
+) -> int:
+    """Vertex connectivity of the graph (n, edges), memoised.
+
+    All correct nodes of a run typically share one discovered edge set
+    (Lemma 2), so a run costs one connectivity computation instead of
+    one per node.
+    """
+    return vertex_connectivity(Graph(n, edges), cutoff=cutoff)
+
+
+def clear_connectivity_cache() -> None:
+    """Drop memoised connectivity results (tests and long sweeps)."""
+    _cached_connectivity.cache_clear()
+
+
+def decide(
+    discovered: DiscoveredGraph,
+    node_id: int,
+    t: int,
+    connectivity_cutoff: int | None = None,
+) -> Verdict:
+    """Run the decision phase for one node.
+
+    Args:
+        discovered: the node's G_i after the propagation phase.
+        node_id: the deciding node.
+        t: the declared maximum number of Byzantine nodes.
+        connectivity_cutoff: optional early-exit bound for the
+            connectivity computation.  Any value above ``t`` preserves
+            the decision exactly (the algorithm only compares k with
+            t); the reported ``Verdict.connectivity`` is then the
+            truncated value.  ``None`` computes κ exactly.
+
+    Raises:
+        ValueError: if a cutoff at or below ``t`` is requested, since
+            that could corrupt the k > t comparison.
+    """
+    if connectivity_cutoff is not None and connectivity_cutoff <= t:
+        raise ValueError(
+            f"connectivity cutoff {connectivity_cutoff} would not resolve k > t"
+        )
+    reachable = discovered.reachable_from(node_id)
+    r = len(reachable)
+    n = discovered.n
+    if r != n:
+        # Some process is unreachable in G_i: the node has *confirmed*
+        # evidence of a partition (ll. 22-24).
+        return Verdict(
+            decision=Decision.PARTITIONABLE,
+            confirmed=True,
+            reachable=r,
+            connectivity=None,
+        )
+    k = _cached_connectivity(n, discovered.edges(), connectivity_cutoff)
+    if k > t:
+        return Verdict(
+            decision=Decision.NOT_PARTITIONABLE,
+            confirmed=False,
+            reachable=r,
+            connectivity=k,
+        )
+    return Verdict(
+        decision=Decision.PARTITIONABLE,
+        confirmed=False,
+        reachable=r,
+        connectivity=k,
+    )

@@ -1,0 +1,240 @@
+"""NECTAR — Neighbors Exploring Connections Toward Adversary Resilience.
+
+This is Algorithm 1 of the paper, as a :class:`repro.net.simulator.
+RoundProtocol` that runs unchanged on the lock-step and asyncio
+backends.
+
+Inputs, per node i (Sec. IV-A): the system size ``n``, the Byzantine
+bound ``t``, the neighborhood Γ(i), and a proof of neighborhood for
+each neighbor.  Output: a :class:`repro.types.Verdict` with the
+NOT_PARTITIONABLE / PARTITIONABLE decision and the ``confirmed`` flag.
+
+Protected hooks (``_initial_proofs``, ``_relay_chain``,
+``_keep_outgoing``) exist so that Byzantine behaviours in
+:mod:`repro.adversary.behaviors` can deviate in precisely controlled
+ways while reusing the honest machinery; honest nodes never override
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.adjacency import DiscoveredGraph
+from repro.core.decision import decide
+from repro.core.messages import EdgeAnnouncement, NectarBatch
+from repro.core.validation import AnnouncementValidator, ValidationMode
+from repro.crypto.chain import ChainLink, extend_chain
+from repro.crypto.proofs import NeighborhoodProof, proof_bytes
+from repro.crypto.signer import KeyPair, PublicDirectory, SignatureScheme
+from repro.errors import ProtocolError
+from repro.net.message import Outgoing
+from repro.net.simulator import RoundProtocol
+from repro.types import NodeId, Verdict
+
+
+def nectar_round_count(n: int) -> int:
+    """The number of propagation rounds, R = n - 1 (Sec. IV-B).
+
+    n - 1 is the smallest value that is safe without topology
+    knowledge (the worst case being the chain topology).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return max(1, n - 1)
+
+
+class NectarNode(RoundProtocol):
+    """One NECTAR process.
+
+    Args:
+        node_id: this process's id.
+        n: total number of processes (known to all).
+        t: maximum number of Byzantine processes.
+        key_pair: this process's signing keys.
+        scheme: the signature scheme shared by the deployment.
+        directory: the public-key directory.
+        neighbor_proofs: proof of neighborhood for each neighbor
+            (keyed by neighbor id); defines Γ(i).
+        validation_mode: FULL (default) or ACCOUNTING (adversary-free
+            cost sweeps only).
+        connectivity_cutoff: optional early-exit bound for the decision
+            phase's connectivity computation (must exceed ``t``).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        n: int,
+        t: int,
+        key_pair: KeyPair,
+        scheme: SignatureScheme,
+        directory: PublicDirectory,
+        neighbor_proofs: Mapping[NodeId, NeighborhoodProof],
+        validation_mode: ValidationMode = ValidationMode.FULL,
+        connectivity_cutoff: int | None = None,
+        batching: bool = True,
+    ) -> None:
+        if t < 0:
+            raise ProtocolError("t must be non-negative")
+        if key_pair.node_id != node_id:
+            raise ProtocolError("key pair does not belong to this node")
+        for neighbor, proof in neighbor_proofs.items():
+            if neighbor == node_id:
+                raise ProtocolError("a node cannot neighbor itself")
+            if frozenset((node_id, neighbor)) != proof.endpoints():
+                raise ProtocolError(
+                    f"proof for neighbor {neighbor} does not cover the edge"
+                )
+        self._node_id = node_id
+        self._n = n
+        self._t = t
+        self._key_pair = key_pair
+        self._scheme = scheme
+        self._directory = directory
+        self._neighbors = frozenset(neighbor_proofs)
+        self._neighbor_proofs = dict(neighbor_proofs)
+        self._validator = AnnouncementValidator(scheme, directory, validation_mode)
+        self._connectivity_cutoff = connectivity_cutoff
+        # Batched framing (default) coalesces all announcements for a
+        # neighbor into one envelope per round; per-edge framing pays
+        # one envelope header per announcement (measured by the
+        # batching ablation, DESIGN.md §5.3).
+        self._batching = batching
+        # Initialising G_i (Algorithm 1, ll. 1-4).
+        self._discovered = DiscoveredGraph(n)
+        for proof in self._neighbor_proofs.values():
+            self._discovered.add(proof)
+        # to_be_sent: announcements accepted this round, to relay next
+        # round, with the neighbor they came from (excluded on relay).
+        self._pending: list[tuple[EdgeAnnouncement, NodeId]] = []
+        self._decided = False
+        self._verdict: Verdict | None = None
+
+    # ------------------------------------------------------------------
+    # RoundProtocol interface
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def neighbors(self) -> frozenset[NodeId]:
+        """Γ(i)."""
+        return self._neighbors
+
+    @property
+    def discovered(self) -> DiscoveredGraph:
+        """This node's G_i (read access for tests and reports)."""
+        return self._discovered
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        if round_number == 1:
+            outgoing = self._first_round_sends()
+        else:
+            outgoing = self._relay_sends(round_number)
+        return [out for out in outgoing if self._keep_outgoing(out, round_number)]
+
+    def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
+        if not isinstance(payload, NectarBatch):
+            return  # foreign or junk payload: ignore (l. 13)
+        for announcement in payload.announcements:
+            proof = announcement.proof
+            # Dedup before any signature work: an already-known edge is
+            # skipped outright (l. 14), which also bounds the
+            # verification load under announcement spam (see the
+            # dedup ablation).
+            if self._discovered.knows(proof.lo, proof.hi):
+                continue
+            if not self._validator.validate(announcement, round_number, sender):
+                continue
+            self._discovered.add(proof)
+            self._pending.append((announcement, sender))
+
+    def conclude(self) -> Verdict:
+        if self._decided:
+            raise ProtocolError("decide() is one-shot (Sec. III-D)")
+        self._decided = True
+        self._verdict = decide(
+            self._discovered,
+            self._node_id,
+            self._t,
+            connectivity_cutoff=self._connectivity_cutoff,
+        )
+        return self._verdict
+
+    # ------------------------------------------------------------------
+    # Send construction
+    # ------------------------------------------------------------------
+    def _first_round_sends(self) -> list[Outgoing]:
+        """Round 1: send {σ_i(proof_{i,j})} for j in Γ(i) to every neighbor."""
+        announcements = []
+        for proof in self._initial_proofs():
+            chain = self._relay_chain(proof, ())
+            announcements.append(EdgeAnnouncement(proof=proof, chain=chain))
+        if not announcements:
+            return []
+        return self._frame(
+            [(neighbor, tuple(announcements)) for neighbor in sorted(self._neighbors)]
+        )
+
+    def _relay_sends(self, round_number: int) -> list[Outgoing]:
+        """Rounds >= 2: relay last round's new edges, extending chains."""
+        if not self._pending:
+            return []
+        extended: list[tuple[EdgeAnnouncement, NodeId]] = []
+        for announcement, source in self._pending:
+            chain = self._relay_chain(announcement.proof, announcement.chain)
+            extended.append(
+                (EdgeAnnouncement(proof=announcement.proof, chain=chain), source)
+            )
+        self._pending = []
+        per_neighbor = []
+        for neighbor in sorted(self._neighbors):
+            entries = tuple(
+                announcement
+                for announcement, source in extended
+                if source != neighbor
+            )
+            if entries:
+                per_neighbor.append((neighbor, entries))
+        return self._frame(per_neighbor)
+
+    def _frame(
+        self,
+        per_neighbor: list[tuple[NodeId, tuple[EdgeAnnouncement, ...]]],
+    ) -> list[Outgoing]:
+        """Wrap per-neighbor announcement sets into envelopes."""
+        outgoing = []
+        for neighbor, entries in per_neighbor:
+            if self._batching:
+                outgoing.append(
+                    Outgoing(destination=neighbor, payload=NectarBatch(entries))
+                )
+            else:
+                outgoing.extend(
+                    Outgoing(destination=neighbor, payload=NectarBatch((entry,)))
+                    for entry in entries
+                )
+        return outgoing
+
+    # ------------------------------------------------------------------
+    # Hooks for controlled Byzantine deviation (honest nodes use the
+    # defaults; see repro.adversary.behaviors)
+    # ------------------------------------------------------------------
+    def _initial_proofs(self) -> Iterable[NeighborhoodProof]:
+        """The proofs announced in round 1: the full neighborhood."""
+        return [
+            self._neighbor_proofs[neighbor]
+            for neighbor in sorted(self._neighbor_proofs)
+        ]
+
+    def _relay_chain(
+        self, proof: NeighborhoodProof, chain: tuple[ChainLink, ...]
+    ) -> tuple[ChainLink, ...]:
+        """Extend (or create) the signature chain with our own layer."""
+        return extend_chain(self._scheme, self._key_pair, proof_bytes(proof), chain)
+
+    def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:
+        """Final say on each send; honest nodes send everything."""
+        return True

@@ -1,0 +1,60 @@
+"""Signature substrate: keys, schemes, neighborhood proofs, chains."""
+
+from repro.crypto.chain import (
+    ChainLink,
+    chain_message,
+    chain_signers,
+    extend_chain,
+    verify_chain,
+)
+from repro.crypto.keys import KeyStore, build_keystore
+from repro.crypto.proofs import (
+    NeighborhoodProof,
+    make_proof,
+    proof_bytes,
+    proof_message,
+    verify_proof,
+)
+from repro.crypto.rsa import RsaScheme
+from repro.crypto.signer import (
+    HmacScheme,
+    KeyPair,
+    NullScheme,
+    PublicDirectory,
+    SignatureScheme,
+    require_valid,
+)
+from repro.crypto.sizes import (
+    COMPACT_PROFILE,
+    DEFAULT_PROFILE,
+    ECDSA_PROFILE,
+    PAYLOAD_PROFILE,
+    WireProfile,
+)
+
+__all__ = [
+    "ChainLink",
+    "chain_message",
+    "chain_signers",
+    "extend_chain",
+    "verify_chain",
+    "KeyStore",
+    "build_keystore",
+    "NeighborhoodProof",
+    "make_proof",
+    "proof_bytes",
+    "proof_message",
+    "verify_proof",
+    "RsaScheme",
+    "HmacScheme",
+    "KeyPair",
+    "NullScheme",
+    "PublicDirectory",
+    "SignatureScheme",
+    "require_valid",
+    "COMPACT_PROFILE",
+    "DEFAULT_PROFILE",
+    "ECDSA_PROFILE",
+    "PAYLOAD_PROFILE",
+    "WireProfile",
+]

@@ -1,0 +1,65 @@
+"""Key generation and distribution.
+
+The experiment harness plays the role of the out-of-band setup phase:
+it creates one key pair per process and hands each process *only its
+own* private key plus the shared public directory.  Byzantine
+behaviours therefore hold exactly the material the paper grants them
+(their own keys), which is what makes forgery impossible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.signer import KeyPair, PublicDirectory, SignatureScheme
+from repro.errors import UnknownKeyError
+from repro.types import NodeId, validate_node_ids
+
+
+class KeyStore:
+    """Holds every key pair of a deployment; built once per experiment.
+
+    Args:
+        scheme: the signature scheme to generate keys for.
+        node_ids: the process ids of the deployment.
+        seed: RNG seed; the same seed always yields the same keys.
+    """
+
+    def __init__(self, scheme: SignatureScheme, node_ids, seed: int = 0) -> None:
+        ids = sorted(set(node_ids))
+        validate_node_ids(ids)
+        rng = random.Random(("keystore", seed).__repr__())
+        self.scheme = scheme
+        self._key_pairs: dict[NodeId, KeyPair] = {
+            node_id: scheme.generate_keypair(node_id, rng) for node_id in ids
+        }
+        self._directory = PublicDirectory(
+            {node_id: pair.public_key for node_id, pair in self._key_pairs.items()}
+        )
+
+    @property
+    def directory(self) -> PublicDirectory:
+        """The shared public directory (safe to give to every node)."""
+        return self._directory
+
+    def key_pair_of(self, node_id: NodeId) -> KeyPair:
+        """Return the key pair of ``node_id`` (setup-time only).
+
+        Raises:
+            UnknownKeyError: if the id has no keys.
+        """
+        try:
+            return self._key_pairs[node_id]
+        except KeyError:
+            raise UnknownKeyError(f"no key pair for node {node_id}") from None
+
+    def node_ids(self) -> frozenset[NodeId]:
+        """All ids with generated keys."""
+        return frozenset(self._key_pairs)
+
+
+def build_keystore(scheme: SignatureScheme, n: int, seed: int = 0) -> KeyStore:
+    """Create a :class:`KeyStore` for processes ``0 .. n-1``."""
+    if n < 1:
+        raise ValueError("a deployment needs at least one process")
+    return KeyStore(scheme, range(n), seed=seed)

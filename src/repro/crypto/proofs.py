@@ -1,0 +1,106 @@
+"""Proofs of neighborhood (Sec. II).
+
+A proof of neighborhood ``proof_{i,j}`` is a cryptographic object used
+by node ``i`` to declare an edge with node ``j``; it cannot be forged
+as soon as either ``i`` or ``j`` is correct.  We realise it as the
+canonical edge encoding co-signed by *both* endpoints:
+
+* a single Byzantine node cannot fabricate a proof naming a correct
+  node, because it lacks that node's private key;
+* two colluding Byzantine nodes *can* fabricate a proof for a
+  fictitious edge between themselves — explicitly allowed by the model
+  and harmless for NECTAR (Sec. IV, "Impact of Byzantine deviations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.signer import KeyPair, PublicDirectory, SignatureScheme
+from repro.types import Edge, NodeId, canonical_edge
+
+_PROOF_DOMAIN = b"repro-neighborhood-proof|"
+
+
+def proof_message(u: NodeId, v: NodeId) -> bytes:
+    """Canonical byte string both endpoints sign to attest edge (u, v)."""
+    lo, hi = canonical_edge(u, v)
+    return _PROOF_DOMAIN + lo.to_bytes(2, "big") + hi.to_bytes(2, "big")
+
+
+@dataclass(frozen=True)
+class NeighborhoodProof:
+    """An edge attested by both of its endpoints.
+
+    Attributes:
+        edge: the canonical (lo, hi) edge.
+        signature_lo: signature of the lower-id endpoint over
+            :func:`proof_message`.
+        signature_hi: signature of the higher-id endpoint.
+    """
+
+    edge: Edge
+    signature_lo: bytes
+    signature_hi: bytes
+
+    @property
+    def lo(self) -> NodeId:
+        return self.edge[0]
+
+    @property
+    def hi(self) -> NodeId:
+        return self.edge[1]
+
+    def endpoints(self) -> frozenset[NodeId]:
+        """The two endpoints as a set."""
+        return frozenset(self.edge)
+
+
+def make_proof(
+    scheme: SignatureScheme, key_u: KeyPair, key_v: KeyPair
+) -> NeighborhoodProof:
+    """Build the neighborhood proof for the edge between two key owners.
+
+    Used by the setup harness for every real edge of G, and by
+    colluding Byzantine pairs for fictitious edges (both cases hold the
+    two private keys, which is exactly the forgeability boundary of the
+    model).
+    """
+    lo, hi = canonical_edge(key_u.node_id, key_v.node_id)
+    message = proof_message(lo, hi)
+    by_id = {key_u.node_id: key_u, key_v.node_id: key_v}
+    return NeighborhoodProof(
+        edge=(lo, hi),
+        signature_lo=scheme.sign(by_id[lo], message),
+        signature_hi=scheme.sign(by_id[hi], message),
+    )
+
+
+def verify_proof(
+    scheme: SignatureScheme, directory: PublicDirectory, proof: NeighborhoodProof
+) -> bool:
+    """Check both endpoint signatures of a proof.
+
+    Returns ``False`` (rather than raising) on any problem: invalid
+    proofs are ordinary adversarial input and are simply dropped.
+    """
+    lo, hi = proof.edge
+    if lo == hi:
+        return False
+    if lo not in directory or hi not in directory:
+        return False
+    message = proof_message(lo, hi)
+    if not scheme.verify(directory.public_key_of(lo), message, proof.signature_lo):
+        return False
+    return scheme.verify(directory.public_key_of(hi), message, proof.signature_hi)
+
+
+def proof_bytes(proof: NeighborhoodProof) -> bytes:
+    """Deterministic encoding of a proof, used as chain payload."""
+    lo, hi = proof.edge
+    return (
+        lo.to_bytes(2, "big")
+        + hi.to_bytes(2, "big")
+        + proof.signature_lo
+        + proof.signature_hi
+    )

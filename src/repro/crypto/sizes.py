@@ -1,0 +1,84 @@
+"""Wire-size profiles for network-cost accounting.
+
+The paper measures "data sent per node" in KB (Figs. 3-7).  The
+absolute value depends on the encoding of ids, signatures and message
+headers.  We centralise those constants in a :class:`WireProfile` so
+experiments can account costs under a realistic ECDSA-sized profile
+(the paper uses ECDSA, Sec. V-B) or a compact profile, and so the
+ablation bench (DESIGN.md §5.4) can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireProfile:
+    """Byte sizes of the primitive wire elements.
+
+    Attributes:
+        name: human-readable profile name.
+        node_id_bytes: encoding size of a :data:`repro.types.NodeId`.
+        signature_bytes: encoding size of one signature.
+        envelope_header_bytes: fixed per-message overhead (type tag,
+            round number, sender, length field); must be at least the
+            9 bytes the binary codec actually writes (tag 1 + sender 2
+            + round 2 + length 4) — the codec pads up to this size.
+        epoch_header_bytes: fixed per-gossip-message overhead for the
+            baselines (epoch counter, sender, length field).
+    """
+
+    name: str
+    node_id_bytes: int = 2
+    signature_bytes: int = 64
+    envelope_header_bytes: int = 9
+    epoch_header_bytes: int = 6
+
+    @property
+    def edge_bytes(self) -> int:
+        """Size of a bare undirected edge (two node ids)."""
+        return 2 * self.node_id_bytes
+
+    def __post_init__(self) -> None:
+        if self.signature_bytes < 0 or self.node_id_bytes < 1:
+            raise ValueError("profile sizes must be non-negative")
+
+    @property
+    def proof_bytes(self) -> int:
+        """Size of a neighborhood proof: an edge co-signed by both ends."""
+        return self.edge_bytes + 2 * self.signature_bytes
+
+    @property
+    def chain_link_bytes(self) -> int:
+        """Size of one signature-chain link: signer id + signature."""
+        return self.node_id_bytes + self.signature_bytes
+
+    def announcement_bytes(self, chain_length: int) -> int:
+        """Size of one edge announcement with ``chain_length`` links."""
+        if chain_length < 1:
+            raise ValueError("a relayed announcement carries >= 1 link")
+        return self.proof_bytes + chain_length * self.chain_link_bytes
+
+    def signed_id_bytes(self) -> int:
+        """Size of one signed process id (MtGv2 gossip unit)."""
+        return self.node_id_bytes + self.signature_bytes
+
+
+#: Realistic profile: 64-byte signatures, matching ECDSA-P256 raw
+#: signatures used by the paper's prototype.
+ECDSA_PROFILE = WireProfile(name="ecdsa")
+
+#: Compact profile: 32-byte signatures (e.g. truncated tags); used by
+#: the ablation on signature size.
+COMPACT_PROFILE = WireProfile(name="compact", signature_bytes=32)
+
+#: Signature-free accounting: counts only ids, headers and structure.
+#: This reproduces the paper's *absolute* byte figures — at n=100,
+#: k=34 the paper reports ~500 KB per node over ~56k relayed entries,
+#: i.e. ~9 bytes per entry, which is the cost of the edge payload
+#: without its cryptographic material (see EXPERIMENTS.md).
+PAYLOAD_PROFILE = WireProfile(name="payload", signature_bytes=0)
+
+#: The profile used by default everywhere.
+DEFAULT_PROFILE = ECDSA_PROFILE

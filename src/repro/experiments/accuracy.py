@@ -1,0 +1,112 @@
+"""Decision-accuracy metrics (Fig. 8 and Sec. V-D).
+
+The paper scores a run by the fraction of *correct* nodes that reach
+the *correct decision*.  What counts as correct follows Def. 3:
+
+* when the subgraph of correct nodes is partitioned (the Byzantine
+  nodes can effectively cut communications), the correct answer is
+  "partition danger": PARTITIONABLE for NECTAR, PARTITIONED for the
+  baselines — the paper counts MtGv2 nodes answering "connected" as
+  wrong in this situation even though G itself is connected;
+* when κ(G) >= 2t, NECTAR must answer NOT_PARTITIONABLE
+  (2t-sensitivity) and the baselines should answer CONNECTED;
+* in the gap t < κ < 2t (and for κ <= t without an actual cut), both
+  NECTAR answers are specification-compliant, so both are scored as
+  correct for NECTAR, while baselines are scored against actual
+  reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.types import BaselineDecision, Decision, GroundTruth, NodeId, Verdict
+
+
+def acceptable_nectar_decisions(truth: GroundTruth) -> frozenset[Decision]:
+    """The NECTAR decisions compatible with Def. 3 for this run."""
+    if truth.correct_subgraph_partitioned:
+        # Safety: never NOT_PARTITIONABLE when V_b is a vertex cut.
+        return frozenset({Decision.PARTITIONABLE})
+    if truth.connectivity >= 2 * truth.t and not truth.graph_partitioned:
+        # 2t-sensitivity: must answer NOT_PARTITIONABLE.
+        return frozenset({Decision.NOT_PARTITIONABLE})
+    if truth.graph_partitioned:
+        return frozenset({Decision.PARTITIONABLE})
+    # Gray zone: both answers comply with the specification.
+    return frozenset({Decision.PARTITIONABLE, Decision.NOT_PARTITIONABLE})
+
+
+def nectar_decision_correct(verdict: Verdict, truth: GroundTruth) -> bool:
+    """Whether one NECTAR verdict counts as a correct decision."""
+    return verdict.decision in acceptable_nectar_decisions(truth)
+
+
+def baseline_expected_decision(truth: GroundTruth) -> BaselineDecision:
+    """The decision a baseline *should* reach, per the paper's scoring."""
+    if truth.correct_subgraph_partitioned or truth.graph_partitioned:
+        return BaselineDecision.PARTITIONED
+    return BaselineDecision.CONNECTED
+
+
+def baseline_decision_correct(
+    decision: BaselineDecision, truth: GroundTruth
+) -> bool:
+    """Whether one baseline decision counts as correct."""
+    return decision == baseline_expected_decision(truth)
+
+
+def _is_correct(verdict: Any, truth: GroundTruth) -> bool:
+    if isinstance(verdict, Verdict):
+        return nectar_decision_correct(verdict, truth)
+    if isinstance(verdict, BaselineDecision):
+        return baseline_decision_correct(verdict, truth)
+    raise TypeError(f"cannot score verdict of type {type(verdict).__name__}")
+
+
+def success_rate(
+    correct_verdicts: Mapping[NodeId, Any], truth: GroundTruth
+) -> float:
+    """Fraction of correct nodes that reached the correct decision.
+
+    This is Fig. 8's "decision success rate".
+
+    Raises:
+        ValueError: with no correct nodes there is nothing to score.
+    """
+    if not correct_verdicts:
+        raise ValueError("success rate over zero correct nodes")
+    hits = sum(
+        1 for verdict in correct_verdicts.values() if _is_correct(verdict, truth)
+    )
+    return hits / len(correct_verdicts)
+
+
+def agreement_holds(correct_verdicts: Mapping[NodeId, Any]) -> bool:
+    """Whether all correct nodes reached the same decision (Def. 3).
+
+    For NECTAR the compared value is the two-valued decision (the
+    ``confirmed`` flag is explicitly allowed to differ, Sec. IV-C);
+    baselines are compared on their decision directly.
+    """
+    decisions = set()
+    for verdict in correct_verdicts.values():
+        if isinstance(verdict, Verdict):
+            decisions.add(verdict.decision)
+        else:
+            decisions.add(verdict)
+    return len(decisions) <= 1
+
+
+def validity_holds(
+    correct_verdicts: Mapping[NodeId, Verdict], truth: GroundTruth
+) -> bool:
+    """Validity (Sec. III-D): confirmed = True implies V_b is a cut.
+
+    The ``confirmed`` flag may legitimately differ across nodes; the
+    property only constrains what True implies.
+    """
+    any_confirmed = any(v.confirmed for v in correct_verdicts.values())
+    if not any_confirmed:
+        return True
+    return truth.correct_subgraph_partitioned or truth.graph_partitioned

@@ -1,0 +1,120 @@
+"""Serialisation of figure data to JSON and CSV.
+
+The benchmark harness archives plain-text tables; downstream plotting
+(matplotlib notebooks, papers, dashboards) wants machine-readable
+series.  These helpers round-trip :class:`FigureData` losslessly
+through JSON and export flat CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.errors import ExperimentError
+from repro.experiments.report import FigureData, Point, Series
+
+_SCHEMA_VERSION = 1
+
+
+def figure_to_dict(figure: FigureData) -> dict:
+    """A JSON-ready representation of a figure."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "notes": list(figure.notes),
+        "series": [
+            {
+                "name": series.name,
+                "points": [
+                    {
+                        "x": point.x,
+                        "mean": point.mean,
+                        "ci_half_width": point.ci_half_width,
+                        "trials": point.trials,
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in figure.series
+        ],
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureData:
+    """Rebuild a figure from :func:`figure_to_dict` output.
+
+    Raises:
+        ExperimentError: on an unknown schema or malformed payload.
+    """
+    try:
+        if payload["schema"] != _SCHEMA_VERSION:
+            raise ExperimentError(
+                f"unsupported figure schema {payload['schema']!r}"
+            )
+        figure = FigureData(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+            notes=list(payload["notes"]),
+        )
+        for series_payload in payload["series"]:
+            series = Series(name=series_payload["name"])
+            for point in series_payload["points"]:
+                series.points.append(
+                    Point(
+                        x=float(point["x"]),
+                        mean=float(point["mean"]),
+                        ci_half_width=float(point["ci_half_width"]),
+                        trials=int(point["trials"]),
+                    )
+                )
+            figure.series.append(series)
+        return figure
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed figure payload: {exc}") from exc
+
+
+def dump_figure_json(figure: FigureData) -> str:
+    """Figure as a JSON string."""
+    return json.dumps(figure_to_dict(figure), indent=2, sort_keys=True)
+
+
+def load_figure_json(text: str) -> FigureData:
+    """Parse :func:`dump_figure_json` output.
+
+    Raises:
+        ExperimentError: on invalid JSON or schema.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid figure JSON: {exc}") from exc
+    return figure_from_dict(payload)
+
+
+def dump_figure_csv(figure: FigureData) -> str:
+    """Flat CSV: one row per (series, point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["figure_id", "series", "x", "mean", "ci_half_width", "trials"]
+    )
+    for series in figure.series:
+        for point in series.points:
+            writer.writerow(
+                [
+                    figure.figure_id,
+                    series.name,
+                    point.x,
+                    point.mean,
+                    point.ci_half_width,
+                    point.trials,
+                ]
+            )
+    return buffer.getvalue()

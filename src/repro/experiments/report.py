@@ -1,0 +1,148 @@
+"""Series, confidence intervals and table rendering.
+
+The paper reports "average results [over 50 runs].  Error intervals
+correspond to a confidence interval of 95%" (Sec. V-B).  This module
+provides the matching aggregation (Student-t CIs via scipy) and the
+plain-text tables the benchmark harness prints next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class Point:
+    """One aggregated data point of a series.
+
+    Attributes:
+        x: the swept parameter value.
+        mean: sample mean over trials.
+        ci_half_width: half width of the 95% confidence interval
+            (zero when there is a single trial).
+        trials: number of trials aggregated.
+    """
+
+    x: float
+    mean: float
+    ci_half_width: float
+    trials: int
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+
+def aggregate(x: float, samples: Sequence[float], confidence: float = 0.95) -> Point:
+    """Mean and Student-t confidence interval of one sweep cell.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    if not samples:
+        raise ValueError("cannot aggregate zero samples")
+    values = np.asarray(samples, dtype=float)
+    mean = float(values.mean())
+    if len(values) < 2 or float(values.std(ddof=1)) == 0.0:
+        return Point(x=x, mean=mean, ci_half_width=0.0, trials=len(values))
+    sem = float(values.std(ddof=1) / np.sqrt(len(values)))
+    t_critical = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, len(values) - 1))
+    return Point(x=x, mean=mean, ci_half_width=t_critical * sem, trials=len(values))
+
+
+@dataclass
+class Series:
+    """One named curve of a figure."""
+
+    name: str
+    points: list[Point] = field(default_factory=list)
+
+    def add(self, x: float, samples: Sequence[float]) -> Point:
+        """Aggregate ``samples`` at ``x`` and append the point."""
+        point = aggregate(x, samples)
+        self.points.append(point)
+        return point
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure or table.
+
+    Attributes:
+        figure_id: e.g. ``"fig3"``.
+        title: human-readable description.
+        x_label / y_label: axis labels as in the paper.
+        series: the curves, in display order.
+        notes: free-form remarks (parameter scale, deviations).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        """Get or create a series by name."""
+        for existing in self.series:
+            if existing.name == name:
+                return existing
+        created = Series(name=name)
+        self.series.append(created)
+        return created
+
+    def render(self) -> str:
+        """A plain-text table, one row per x value, one column per series."""
+        xs = sorted({point.x for s in self.series for point in s.points})
+        header = [self.x_label] + [s.name for s in self.series]
+        rows: list[list[str]] = []
+        by_series = {
+            s.name: {point.x: point for point in s.points} for s in self.series
+        }
+        for x in xs:
+            row = [_format_number(x)]
+            for s in self.series:
+                point = by_series[s.name].get(x)
+                if point is None:
+                    row.append("-")
+                elif point.ci_half_width > 0:
+                    row.append(
+                        f"{_format_number(point.mean)} ±{_format_number(point.ci_half_width)}"
+                    )
+                else:
+                    row.append(_format_number(point.mean))
+            rows.append(row)
+        widths = [
+            max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+            for col in range(len(header))
+        ]
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.append(f"(y: {self.y_label})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_number(value: float) -> str:
+    """Compact numeric formatting for tables."""
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"

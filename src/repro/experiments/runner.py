@@ -1,0 +1,353 @@
+"""Trial execution: deployments, protocol wiring, ground truth.
+
+A *trial* is one end-to-end run: build a deployment (keys, proofs) for
+a topology, instantiate one protocol per node — honest or Byzantine —
+drive them on an execution backend, and collect verdicts, traffic and
+ground truth.  The figure-level sweeps of
+:mod:`repro.experiments.figures` are built from these pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.baselines.mtg import MtgNode, mtg_epoch_count
+from repro.baselines.mtgv2 import Mtgv2Node, mtgv2_epoch_count
+from repro.core.nectar import NectarNode, nectar_round_count
+from repro.core.validation import ValidationMode
+from repro.crypto.keys import KeyStore
+from repro.crypto.proofs import NeighborhoodProof, make_proof
+from repro.crypto.signer import HmacScheme, NullScheme, SignatureScheme
+from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
+from repro.errors import ExperimentError
+from repro.graphs.analysis import correct_subgraph_partitioned
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.graph import Graph
+from repro.net.asyncio_net import AsyncCluster
+from repro.net.simulator import RoundProtocol, SyncNetwork
+from repro.net.stats import TrafficStats
+from repro.types import Edge, GroundTruth, NodeId
+
+
+@dataclass(frozen=True)
+class NodeSetup:
+    """Everything a protocol factory needs to build one node.
+
+    Attributes:
+        node_id: the node being built.
+        n: system size.
+        t: Byzantine bound declared to the protocol.
+        graph: the real topology (factories must only use Γ(node_id)
+            from it — correct protocols do not know G, Sec. II — but
+            Byzantine factories may peek, modelling full-knowledge
+            adversaries).
+        key_store: all keys; honest factories take only their own pair.
+        scheme: the deployment's signature scheme.
+        profile: wire profile.
+        neighbor_proofs: proofs for the node's real edges.
+        validation_mode: validation mode for NECTAR nodes.
+        connectivity_cutoff: decision-phase cutoff for NECTAR nodes.
+    """
+
+    node_id: NodeId
+    n: int
+    t: int
+    graph: Graph
+    key_store: KeyStore
+    scheme: SignatureScheme
+    profile: WireProfile
+    neighbor_proofs: Mapping[NodeId, NeighborhoodProof]
+    validation_mode: ValidationMode
+    connectivity_cutoff: int | None
+
+    @property
+    def neighbors(self) -> frozenset[NodeId]:
+        """Γ(node_id)."""
+        return frozenset(self.neighbor_proofs)
+
+
+#: A factory turning a :class:`NodeSetup` into a protocol instance.
+ProtocolFactory = Callable[[NodeSetup], RoundProtocol]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Keys and proofs for one topology (the out-of-band setup phase)."""
+
+    graph: Graph
+    key_store: KeyStore
+    scheme: SignatureScheme
+    proofs: Mapping[Edge, NeighborhoodProof]
+
+    def proofs_of(self, node_id: NodeId) -> dict[NodeId, NeighborhoodProof]:
+        """Neighbor-keyed proofs for one node."""
+        result = {}
+        for neighbor in self.graph.neighbors(node_id):
+            edge = (node_id, neighbor) if node_id < neighbor else (neighbor, node_id)
+            result[neighbor] = self.proofs[edge]
+        return result
+
+
+def build_deployment(
+    graph: Graph, scheme: SignatureScheme | None = None, seed: int = 0
+) -> Deployment:
+    """Generate keys and per-edge neighborhood proofs for a topology."""
+    if scheme is None:
+        scheme = HmacScheme()
+    key_store = KeyStore(scheme, graph.nodes(), seed=seed)
+    proofs = {
+        edge: make_proof(
+            scheme, key_store.key_pair_of(edge[0]), key_store.key_pair_of(edge[1])
+        )
+        for edge in sorted(graph.edges())
+    }
+    return Deployment(graph=graph, key_store=key_store, scheme=scheme, proofs=proofs)
+
+
+def honest_nectar_factory(setup: NodeSetup) -> NectarNode:
+    """Build an honest NECTAR node from a setup."""
+    return NectarNode(
+        node_id=setup.node_id,
+        n=setup.n,
+        t=setup.t,
+        key_pair=setup.key_store.key_pair_of(setup.node_id),
+        scheme=setup.scheme,
+        directory=setup.key_store.directory,
+        neighbor_proofs=setup.neighbor_proofs,
+        validation_mode=setup.validation_mode,
+        connectivity_cutoff=setup.connectivity_cutoff,
+    )
+
+
+def honest_mtg_factory(setup: NodeSetup) -> MtgNode:
+    """Build an honest MindTheGap node from a setup."""
+    return MtgNode(node_id=setup.node_id, n=setup.n, neighbors=setup.neighbors)
+
+
+def honest_mtgv2_factory(setup: NodeSetup) -> Mtgv2Node:
+    """Build an honest MtGv2 node from a setup."""
+    return Mtgv2Node(
+        node_id=setup.node_id,
+        n=setup.n,
+        neighbors=setup.neighbors,
+        key_pair=setup.key_store.key_pair_of(setup.node_id),
+        scheme=setup.scheme,
+        directory=setup.key_store.directory,
+    )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial."""
+
+    verdicts: Mapping[NodeId, Any]
+    byzantine: frozenset[NodeId]
+    stats: TrafficStats
+    ground_truth: GroundTruth | None
+    rounds: int
+
+    @property
+    def correct_verdicts(self) -> dict[NodeId, Any]:
+        """Verdicts of correct nodes only (what the spec talks about)."""
+        return {
+            node: verdict
+            for node, verdict in self.verdicts.items()
+            if node not in self.byzantine
+        }
+
+    def mean_kb_sent(self) -> float:
+        """Average KB sent per node over the whole deployment."""
+        return self.stats.mean_kb_sent(self.verdicts.keys())
+
+
+def compute_ground_truth(
+    graph: Graph,
+    t: int,
+    byzantine: frozenset[NodeId],
+    connectivity_cutoff: int | None = None,
+) -> GroundTruth:
+    """Reference facts for accuracy evaluation.
+
+    Args:
+        connectivity_cutoff: optional truncation for the κ computation;
+            any value above ``t`` keeps ``byzantine_partitionable``
+            exact (and values >= 2t + 1 keep the sensitivity analysis
+            exact).  ``GroundTruth.connectivity`` is then min(κ, cutoff).
+    """
+    if connectivity_cutoff is not None and connectivity_cutoff <= t:
+        raise ExperimentError("ground-truth cutoff must exceed t")
+    kappa = vertex_connectivity(graph, cutoff=connectivity_cutoff)
+    return GroundTruth(
+        n=graph.n,
+        t=t,
+        byzantine=byzantine,
+        connectivity=kappa,
+        graph_partitioned=not graph.is_connected(),
+        correct_subgraph_partitioned=correct_subgraph_partitioned(graph, byzantine),
+        byzantine_partitionable=kappa <= t,
+    )
+
+
+def run_trial(
+    graph: Graph,
+    t: int = 0,
+    byzantine_factories: Mapping[NodeId, ProtocolFactory] | None = None,
+    honest_factory: ProtocolFactory = honest_nectar_factory,
+    rounds: int | None = None,
+    scheme: SignatureScheme | None = None,
+    profile: WireProfile = DEFAULT_PROFILE,
+    validation_mode: ValidationMode = ValidationMode.FULL,
+    connectivity_cutoff: int | None = None,
+    seed: int = 0,
+    backend: str = "sync",
+    with_ground_truth: bool = True,
+    ground_truth_cutoff: int | None = None,
+    loss_rate: float = 0.0,
+) -> TrialResult:
+    """Run one complete trial.
+
+    Args:
+        graph: the topology G.
+        t: declared Byzantine bound.
+        byzantine_factories: protocol factory per Byzantine node.
+        honest_factory: factory for correct nodes (one of the
+            ``honest_*_factory`` helpers or a custom one).
+        rounds: round/epoch count; defaults to n - 1.
+        scheme: signature scheme; defaults to :class:`HmacScheme`.
+        profile: wire profile for byte accounting.
+        validation_mode: NECTAR validation mode.  ACCOUNTING is
+            rejected when Byzantine nodes are present.
+        connectivity_cutoff: NECTAR decision cutoff (must exceed t).
+        seed: deployment seed (keys).
+        backend: ``"sync"`` (lock-step) or ``"async"`` (asyncio, real
+            bytes through the codec).
+        with_ground_truth: compute the :class:`GroundTruth` record.
+        ground_truth_cutoff: κ truncation for the ground truth.
+        loss_rate: per-message drop probability (sync backend only).
+            The paper's model assumes reliable channels; this knob
+            exists for the MtG loss-tolerance experiment (Sec. VI-A)
+            and off-model exploration.
+
+    Raises:
+        ExperimentError: on inconsistent parameters.
+    """
+    byzantine_factories = dict(byzantine_factories or {})
+    byzantine = frozenset(byzantine_factories)
+    if len(byzantine) > t and t > 0:
+        raise ExperimentError(
+            f"{len(byzantine)} Byzantine nodes exceed the declared bound t={t}"
+        )
+    if byzantine and validation_mode is ValidationMode.ACCOUNTING:
+        raise ExperimentError(
+            "ACCOUNTING validation must not be used in adversarial runs"
+        )
+    if byzantine and isinstance(scheme, NullScheme):
+        raise ExperimentError("NullScheme must not be used in adversarial runs")
+    deployment = build_deployment(graph, scheme=scheme, seed=seed)
+    protocols: dict[NodeId, RoundProtocol] = {}
+    for node_id in graph.nodes():
+        setup = NodeSetup(
+            node_id=node_id,
+            n=graph.n,
+            t=t,
+            graph=graph,
+            key_store=deployment.key_store,
+            scheme=deployment.scheme,
+            profile=profile,
+            neighbor_proofs=deployment.proofs_of(node_id),
+            validation_mode=validation_mode,
+            connectivity_cutoff=connectivity_cutoff,
+        )
+        factory = byzantine_factories.get(node_id, honest_factory)
+        protocols[node_id] = factory(setup)
+    if rounds is None:
+        rounds = nectar_round_count(graph.n)
+    if backend == "sync":
+        network = SyncNetwork(
+            graph,
+            protocols,
+            profile=profile,
+            loss_rate=loss_rate,
+            loss_seed=seed,
+        )
+        verdicts = network.run(rounds)
+        stats = network.stats
+    elif backend == "async":
+        if loss_rate > 0.0:
+            raise ExperimentError("message loss is only modelled on the sync backend")
+        cluster = AsyncCluster(graph, protocols, profile=profile)
+        verdicts = cluster.run(rounds)
+        stats = cluster.stats
+    else:
+        raise ExperimentError(f"unknown backend {backend!r}")
+    truth = None
+    if with_ground_truth:
+        truth = compute_ground_truth(
+            graph, t, byzantine, connectivity_cutoff=ground_truth_cutoff
+        )
+    return TrialResult(
+        verdicts=verdicts,
+        byzantine=byzantine,
+        stats=stats,
+        ground_truth=truth,
+        rounds=rounds,
+    )
+
+
+def nectar_cost_trial(
+    graph: Graph,
+    profile: WireProfile = DEFAULT_PROFILE,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> TrialResult:
+    """Adversary-free NECTAR run tuned for cost sweeps (Figs. 3-7).
+
+    Uses the accounting scheme and validation mode: byte counts are
+    identical to a fully verified run, but no signature computation
+    happens, which keeps the n = 100 sweeps tractable.
+    """
+    return run_trial(
+        graph,
+        t=0,
+        honest_factory=honest_nectar_factory,
+        rounds=rounds,
+        scheme=NullScheme(signature_size=profile.signature_bytes),
+        profile=profile,
+        validation_mode=ValidationMode.ACCOUNTING,
+        connectivity_cutoff=1,
+        seed=seed,
+        with_ground_truth=False,
+    )
+
+
+def baseline_cost_trial(
+    graph: Graph,
+    protocol: str,
+    profile: WireProfile = DEFAULT_PROFILE,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> TrialResult:
+    """Adversary-free MtG/MtGv2 run for the cost sweeps.
+
+    Args:
+        protocol: ``"mtg"`` or ``"mtgv2"``.
+    """
+    if protocol == "mtg":
+        factory = honest_mtg_factory
+        default_rounds = mtg_epoch_count(graph.n)
+    elif protocol == "mtgv2":
+        factory = honest_mtgv2_factory
+        default_rounds = mtgv2_epoch_count(graph.n)
+    else:
+        raise ExperimentError(f"unknown baseline {protocol!r}")
+    return run_trial(
+        graph,
+        t=0,
+        honest_factory=factory,
+        rounds=rounds if rounds is not None else default_rounds,
+        scheme=NullScheme(signature_size=profile.signature_bytes),
+        profile=profile,
+        seed=seed,
+        with_ground_truth=False,
+    )

@@ -1,0 +1,237 @@
+"""Attack scenarios and topology registry for the evaluation.
+
+The central adversarial setup of Sec. V-D:
+
+    "We generated a subgraph of correct nodes that is partitioned into
+    two parts.  We then added Byzantine edges between each part, to
+    make the graph connected, where all communications between the two
+    correct parts must pass through Byzantine nodes [...] The
+    Byzantine behavior we considered is that Byzantine nodes act
+    correctly toward one part of the subgraph of correct nodes, and as
+    crashed nodes for the other part."
+
+:func:`bridged_partition_scenario` builds exactly this from the drone
+deployment (Fig. 8) and :func:`split_topology_scenario` builds it from
+the connectivity-dependent topologies (the Sec. V-D text results).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError, TopologyError
+from repro.graphs.generators.drone import drone_deployment
+from repro.graphs.generators.logharary import k_diamond, k_pasted_tree
+from repro.graphs.generators.regular import harary_graph, random_regular_graph
+from repro.graphs.generators.wheels import generalized_wheel, multipartite_wheel
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+#: Barycenter distance at which the two drone scatters are guaranteed
+#: disconnected from each other for every radius used in the paper
+#: (gap = d - 2 > 2.4).
+PARTITIONED_DRONE_DISTANCE = 6.0
+
+
+@dataclass(frozen=True)
+class BridgedPartitionScenario:
+    """A partitioned correct subgraph bridged only by Byzantine nodes.
+
+    Attributes:
+        graph: the full topology G (correct parts + Byzantine bridges).
+        byzantine: the bridge nodes.
+        favored: the correct part the Byzantine nodes behave correctly
+            toward.
+        muted: the correct part they treat as crashed (never send to).
+        t: |byzantine|.
+    """
+
+    graph: Graph
+    byzantine: frozenset[NodeId]
+    favored: frozenset[NodeId]
+    muted: frozenset[NodeId]
+
+    @property
+    def t(self) -> int:
+        return len(self.byzantine)
+
+    @property
+    def correct(self) -> frozenset[NodeId]:
+        return self.favored | self.muted
+
+    def silent_towards_of(self, byzantine_node: NodeId) -> frozenset[NodeId]:
+        """Destinations a two-faced bridge node must never send to."""
+        if byzantine_node not in self.byzantine:
+            raise ExperimentError(f"{byzantine_node} is not Byzantine here")
+        return self.muted
+
+
+def _bridge_endpoints(
+    rng: random.Random, part: list[NodeId], count: int
+) -> list[NodeId]:
+    """Sample bridge attachment points within one correct part."""
+    if not part:
+        raise ExperimentError("cannot bridge into an empty part")
+    width = min(count, len(part))
+    return rng.sample(part, width)
+
+
+def bridged_partition_scenario(
+    n: int,
+    t: int,
+    radius: float = 1.2,
+    seed: int = 0,
+    bridge_degree: int = 3,
+) -> BridgedPartitionScenario:
+    """The Fig. 8 drone scenario: two scatters bridged by t Byzantine nodes.
+
+    The n - t correct drones form two scatters at distance
+    :data:`PARTITIONED_DRONE_DISTANCE` (mutually out of radio range).
+    The t Byzantine drones hover between the scatters with
+    ``bridge_degree`` links into each side, making G connected for
+    t >= 1 while every cross-part path passes through them.
+
+    Args:
+        n: total node count, Byzantine included (the paper uses 35).
+        t: number of Byzantine bridge nodes.
+        radius: communication scope of the drone deployment.
+        seed: RNG seed.
+        bridge_degree: links from each bridge into each part.
+
+    Raises:
+        ExperimentError: if t leaves fewer than 2 correct nodes.
+    """
+    if t < 0:
+        raise ExperimentError("t cannot be negative")
+    if n - t < 2:
+        raise ExperimentError(f"n={n}, t={t} leaves fewer than 2 correct nodes")
+    deployment = drone_deployment(
+        n - t, PARTITIONED_DRONE_DISTANCE, radius, seed=seed
+    )
+    left = sorted(deployment.left_cluster)
+    right = sorted(deployment.right_cluster)
+    # Re-number: correct nodes keep their ids, bridges take the top ids.
+    edges = list(deployment.graph.edges())
+    byzantine = list(range(n - t, n))
+    rng = random.Random(("bridged-partition", n, t, radius, seed).__repr__())
+    for bridge in byzantine:
+        for part in (left, right):
+            for endpoint in _bridge_endpoints(rng, part, bridge_degree):
+                edges.append((bridge, endpoint))
+        # Bridges also see each other (they collude anyway).
+        for other in byzantine:
+            if other < bridge:
+                edges.append((other, bridge))
+    return BridgedPartitionScenario(
+        graph=Graph(n, edges),
+        byzantine=frozenset(byzantine),
+        favored=frozenset(left),
+        muted=frozenset(right),
+    )
+
+
+# ----------------------------------------------------------------------
+# Connectivity-dependent topology registry (Sec. V-B / Bonomi et al.)
+# ----------------------------------------------------------------------
+TopologyBuilder = Callable[[int, int, int], Graph]
+
+
+def _build_regular(n: int, k: int, seed: int) -> Graph:
+    return random_regular_graph(n, k, seed=seed)
+
+
+def _build_harary(n: int, k: int, seed: int) -> Graph:
+    return harary_graph(k, n)
+
+
+def _build_pasted_tree(n: int, k: int, seed: int) -> Graph:
+    return k_pasted_tree(k, n)
+
+
+def _build_diamond(n: int, k: int, seed: int) -> Graph:
+    return k_diamond(k, n)
+
+
+def _build_generalized_wheel(n: int, k: int, seed: int) -> Graph:
+    return generalized_wheel(n, k)
+
+
+def _build_multipartite_wheel(n: int, k: int, seed: int) -> Graph:
+    return multipartite_wheel(n, k, parts=2)
+
+
+#: name -> builder(n, k, seed) for every connectivity-dependent family.
+TOPOLOGY_FAMILIES: dict[str, TopologyBuilder] = {
+    "k-regular": _build_regular,
+    "harary": _build_harary,
+    "k-pasted-tree": _build_pasted_tree,
+    "k-diamond": _build_diamond,
+    "generalized-wheel": _build_generalized_wheel,
+    "multipartite-wheel": _build_multipartite_wheel,
+}
+
+
+def build_topology(name: str, n: int, k: int, seed: int = 0) -> Graph:
+    """Instantiate one named topology family.
+
+    Raises:
+        ExperimentError: for an unknown family name.
+    """
+    builder = TOPOLOGY_FAMILIES.get(name)
+    if builder is None:
+        raise ExperimentError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_FAMILIES)}"
+        )
+    try:
+        return builder(n, k, seed)
+    except TopologyError as exc:
+        raise ExperimentError(f"{name}(n={n}, k={k}): {exc}") from exc
+
+
+def split_topology_scenario(
+    name: str, n: int, t: int, k: int, seed: int = 0
+) -> BridgedPartitionScenario:
+    """The Sec. V-D attack applied to a connectivity-dependent topology.
+
+    Builds the named topology on the n - t correct nodes, splits it in
+    two halves by dropping every correct-correct edge crossing the
+    halves, then adds t Byzantine nodes ("aleatory placement" is
+    subsumed by the random bridge attachment) wired into both halves.
+    A backbone path is added inside each half so that the two correct
+    *parts* are internally connected, as in the paper's setup ("a
+    subgraph of correct nodes that is partitioned into two parts").
+
+    Raises:
+        ExperimentError: on parameters the family cannot host.
+    """
+    if n - t < 4:
+        raise ExperimentError("too few correct nodes to split")
+    base = build_topology(name, n - t, k, seed=seed)
+    half = (n - t) // 2
+    left = list(range(half))
+    right = list(range(half, n - t))
+    left_set = set(left)
+    edges = [
+        edge
+        for edge in base.edges()
+        if (edge[0] in left_set) == (edge[1] in left_set)
+    ]
+    for part in (left, right):
+        edges.extend((part[i], part[i + 1]) for i in range(len(part) - 1))
+    byzantine = list(range(n - t, n))
+    rng = random.Random(("split-topology", name, n, t, k, seed).__repr__())
+    for bridge in byzantine:
+        for part in (left, right):
+            for endpoint in _bridge_endpoints(rng, part, 3):
+                edges.append((bridge, endpoint))
+        for other in byzantine:
+            if other < bridge:
+                edges.append((other, bridge))
+    return BridgedPartitionScenario(
+        graph=Graph(n, edges),
+        byzantine=frozenset(byzantine),
+        favored=frozenset(left),
+        muted=frozenset(right),
+    )

@@ -1,0 +1,40 @@
+"""Extensions beyond the paper's core: its cited substrate (Dolev
+reliable communication), its conclusion's conjecture (signature-free
+partition detection) and its footnote-2 operational mode (continuous
+monitoring)."""
+
+from repro.extensions.dolev import (
+    DIRECT,
+    DolevMessage,
+    DolevNode,
+    disjoint_path_support,
+    dolev_round_count,
+)
+from repro.extensions.monitor import (
+    MonitorReport,
+    PartitionMonitor,
+    first_escalation,
+)
+from repro.extensions.unsigned import (
+    EdgeClaim,
+    LyingClaimantNode,
+    UnsignedNectarNode,
+    build_unsigned_protocols,
+    unsigned_round_count,
+)
+
+__all__ = [
+    "DIRECT",
+    "DolevMessage",
+    "DolevNode",
+    "disjoint_path_support",
+    "dolev_round_count",
+    "MonitorReport",
+    "PartitionMonitor",
+    "first_escalation",
+    "EdgeClaim",
+    "LyingClaimantNode",
+    "UnsignedNectarNode",
+    "build_unsigned_protocols",
+    "unsigned_round_count",
+]

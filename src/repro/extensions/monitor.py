@@ -1,0 +1,116 @@
+"""Continuous partition monitoring over an evolving topology.
+
+The paper's specification is one-shot (footnote 2): "In practical
+cases, the connectivity graph might, however, evolve over time.  In
+such cases, we assume that the graph remains static long enough for
+the algorithm to execute."  This module packages that operational
+mode: a :class:`PartitionMonitor` re-runs NECTAR on each topology
+epoch, yielding a verdict stream with change detection — the pattern
+the drone fleet of Fig. 2 would deploy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_trial
+from repro.graphs.graph import Graph
+from repro.types import Decision, Verdict
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """The monitor's output for one topology epoch.
+
+    Attributes:
+        epoch: 0-based epoch index.
+        verdict: the (agreed) NECTAR verdict of this epoch.
+        changed: whether the decision differs from the previous epoch.
+        escalated: decision moved toward danger (NOT_PARTITIONABLE →
+            PARTITIONABLE, or an unconfirmed PARTITIONABLE became
+            confirmed).
+        mean_kb_sent: per-node cost of this epoch's run.
+    """
+
+    epoch: int
+    verdict: Verdict
+    changed: bool
+    escalated: bool
+    mean_kb_sent: float
+
+
+def _danger_level(verdict: Verdict) -> int:
+    """0 = safe, 1 = partitionable, 2 = confirmed partition."""
+    if verdict.decision is Decision.NOT_PARTITIONABLE:
+        return 0
+    return 2 if verdict.confirmed else 1
+
+
+class PartitionMonitor:
+    """Re-runs NECTAR per epoch and tracks decision transitions.
+
+    Args:
+        t: the Byzantine budget declared to every epoch's run.
+        connectivity_cutoff: optional decision-phase cutoff (speeds up
+            long missions; must exceed ``t``).
+    """
+
+    def __init__(self, t: int, connectivity_cutoff: int | None = None) -> None:
+        if t < 0:
+            raise ExperimentError("t must be non-negative")
+        self._t = t
+        self._cutoff = connectivity_cutoff
+        self._epoch = 0
+        self._last: Verdict | None = None
+
+    @property
+    def epochs_observed(self) -> int:
+        """Number of topologies processed so far."""
+        return self._epoch
+
+    def observe(self, graph: Graph, seed: int = 0) -> MonitorReport:
+        """Run one epoch on ``graph`` and report the transition."""
+        result = run_trial(
+            graph,
+            t=self._t,
+            connectivity_cutoff=self._cutoff,
+            seed=seed,
+            with_ground_truth=False,
+        )
+        # Agreement (Def. 3) lets the monitor read any single node.
+        verdict = result.verdicts[0]
+        previous = self._last
+        changed = previous is not None and (
+            previous.decision is not verdict.decision
+            or previous.confirmed != verdict.confirmed
+        )
+        escalated = previous is not None and _danger_level(
+            verdict
+        ) > _danger_level(previous)
+        report = MonitorReport(
+            epoch=self._epoch,
+            verdict=verdict,
+            changed=changed,
+            escalated=escalated,
+            mean_kb_sent=result.mean_kb_sent(),
+        )
+        self._epoch += 1
+        self._last = verdict
+        return report
+
+    def watch(self, graphs: Iterable[Graph], seed: int = 0) -> Iterator[MonitorReport]:
+        """Observe a whole topology sequence lazily."""
+        for offset, graph in enumerate(graphs):
+            yield self.observe(graph, seed=seed + offset)
+
+
+def first_escalation(
+    monitor: PartitionMonitor, graphs: Iterable[Graph], seed: int = 0
+) -> MonitorReport | None:
+    """The first epoch whose decision moved toward danger, if any."""
+    for report in monitor.watch(graphs, seed=seed):
+        if report.escalated:
+            return report
+    return None

@@ -1,0 +1,93 @@
+"""Graph analysis helpers: diameter, components, summary statistics.
+
+Used by the experiment layer to compute ground truth (Sec. III) and by
+reports/examples to describe topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.graph import Graph
+
+
+def diameter(graph: Graph) -> int | None:
+    """Longest shortest path, or ``None`` for a disconnected graph.
+
+    The paper notes that NECTAR stops learning new edges after the
+    round matching the diameter (Sec. IV-B, Decision phase), which the
+    round-silence ablation measures.
+    """
+    worst = 0
+    for source in graph.nodes():
+        distances = graph.bfs_distances(source)
+        if len(distances) != graph.n:
+            return None
+        worst = max(worst, max(distances.values()))
+    return worst
+
+
+def correct_subgraph(graph: Graph, byzantine) -> Graph:
+    """The subgraph induced by the correct nodes (ids preserved)."""
+    return graph.without_nodes(byzantine)
+
+
+def correct_subgraph_partitioned(graph: Graph, byzantine) -> bool:
+    """Whether the correct nodes' subgraph is disconnected (Lemma 3).
+
+    Isolated correct nodes count as disconnection; with fewer than two
+    correct nodes there is no pair to separate, hence no partition.
+    """
+    byzantine_set = frozenset(byzantine)
+    correct = [v for v in graph.nodes() if v not in byzantine_set]
+    if len(correct) <= 1:
+        return False
+    stripped = graph.without_nodes(byzantine_set)
+    reachable = stripped.bfs_reachable(correct[0], forbidden=byzantine_set)
+    return len(reachable) != len(correct)
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Descriptive statistics of a topology.
+
+    Attributes:
+        n: node count.
+        edges: edge count.
+        min_degree: minimum degree.
+        max_degree: maximum degree.
+        connectivity: vertex connectivity κ.
+        diameter: graph diameter, ``None`` if disconnected.
+        connected: whether the graph is connected.
+    """
+
+    n: int
+    edges: int
+    min_degree: int
+    max_degree: int
+    connectivity: int
+    diameter: int | None
+    connected: bool
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        diam = "∞" if self.diameter is None else str(self.diameter)
+        return (
+            f"n={self.n} m={self.edges} κ={self.connectivity} "
+            f"deg∈[{self.min_degree},{self.max_degree}] diam={diam}"
+        )
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    return GraphSummary(
+        n=graph.n,
+        edges=graph.edge_count,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        connectivity=vertex_connectivity(graph),
+        diameter=diameter(graph),
+        connected=graph.is_connected(),
+    )

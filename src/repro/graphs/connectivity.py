@@ -1,0 +1,211 @@
+"""Vertex connectivity (κ) and local connectivity κ(s, t).
+
+The whole paper revolves around vertex connectivity: a graph is
+t-Byzantine partitionable iff κ(G) <= t (Corollary 1), and NECTAR's
+decision phase computes κ of the discovered graph (Algorithm 1 l. 17).
+
+We implement the classical algorithm used for exact node connectivity:
+
+* κ(s, t) for non-adjacent s, t is the max flow in the vertex-split
+  digraph (Menger's theorem [20]);
+* κ(G) = min over a quadratic-free pair family built from a minimum
+  degree vertex v: pairs (v, w) for w non-adjacent to v, plus pairs of
+  non-adjacent neighbors of v.  Every minimum cut either excludes v
+  (first family) or contains v, in which case v has neighbors in two
+  components of G - C (second family).
+
+A ``cutoff`` argument allows early exit: callers that only need to
+compare κ against a threshold (NECTAR compares against t and the
+sensitivity bound 2t) can cap every max-flow at the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxflow import INFINITY, FlowNetwork
+from repro.types import NodeId
+
+
+def _split_network(graph: Graph, source: NodeId, sink: NodeId) -> FlowNetwork:
+    """Build the vertex-split digraph for a κ(source, sink) query.
+
+    Vertex v becomes v_in = 2v and v_out = 2v + 1 with an internal arc
+    of capacity 1 (capacity INFINITY for the terminals, which may not
+    be counted in a separator).  Each undirected edge (u, v) becomes
+    u_out -> v_in and v_out -> u_in with infinite capacity.
+    """
+    network = FlowNetwork(2 * graph.n)
+    for vertex in graph.nodes():
+        capacity = INFINITY if vertex in (source, sink) else 1
+        network.add_edge(2 * vertex, 2 * vertex + 1, capacity)
+    for u, v in graph.edges():
+        network.add_edge(2 * u + 1, 2 * v, INFINITY)
+        network.add_edge(2 * v + 1, 2 * u, INFINITY)
+    return network
+
+
+def local_connectivity(
+    graph: Graph, source: NodeId, sink: NodeId, cutoff: int | None = None
+) -> int:
+    """κ(source, sink): the number of vertex-independent paths.
+
+    For adjacent vertices no vertex set separates them; following the
+    usual convention this returns ``INFINITY`` (truncated at ``cutoff``
+    when one is given).
+
+    Raises:
+        ValueError: if ``source == sink``.
+    """
+    if source == sink:
+        raise ValueError("local connectivity needs two distinct vertices")
+    if graph.has_edge(source, sink):
+        return INFINITY if cutoff is None else cutoff
+    network = _split_network(graph, source, sink)
+    return network.max_flow(2 * source + 1, 2 * sink, cutoff=cutoff)
+
+
+def vertex_connectivity(graph: Graph, cutoff: int | None = None) -> int:
+    """Global vertex connectivity κ(G).
+
+    Args:
+        graph: the graph to analyse.
+        cutoff: when given, the computation may stop early and return
+            ``min(κ(G), cutoff)``; useful when the caller only needs to
+            know whether κ reaches a threshold.
+
+    Returns:
+        κ(G) exactly, or its truncation at ``cutoff``.  A disconnected
+        graph (including any graph with an isolated vertex) has κ = 0;
+        the complete graph K_n has κ = n - 1 by convention.
+    """
+    n = graph.n
+    if n == 1:
+        return 0 if cutoff is None else min(0, cutoff)
+    if not graph.is_connected():
+        return 0
+    if graph.edge_count == n * (n - 1) // 2:
+        kappa = n - 1
+        return kappa if cutoff is None else min(kappa, cutoff)
+
+    # The minimum degree bounds κ from above, the user cutoff may bound
+    # it further.
+    best = graph.min_degree()
+    if cutoff is not None:
+        best = min(best, cutoff)
+    if best == 0:
+        return 0
+
+    pivot = min(graph.nodes(), key=graph.degree)
+    pivot_neighbors = sorted(graph.neighbors(pivot))
+
+    # Family 1: pivot against every non-neighbor.
+    for other in graph.nodes():
+        if other == pivot or other in graph.neighbors(pivot):
+            continue
+        flow = local_connectivity(graph, pivot, other, cutoff=best)
+        if flow < best:
+            best = flow
+            if best == 0:
+                return 0
+
+    # Family 2: non-adjacent pairs of pivot's neighbors (covers minimum
+    # cuts that contain the pivot itself).
+    for i, x in enumerate(pivot_neighbors):
+        for y in pivot_neighbors[i + 1:]:
+            if graph.has_edge(x, y):
+                continue
+            flow = local_connectivity(graph, x, y, cutoff=best)
+            if flow < best:
+                best = flow
+                if best == 0:
+                    return 0
+    return best
+
+
+def minimum_st_vertex_cut(graph: Graph, source: NodeId, sink: NodeId) -> set[NodeId]:
+    """A minimum vertex set separating two non-adjacent vertices.
+
+    By Menger's theorem its size equals κ(source, sink).  The cut is
+    read off the saturated internal arcs on the residual boundary of a
+    maximum flow.
+
+    Raises:
+        ValueError: for adjacent (or identical) vertices, which no
+            vertex set separates.
+    """
+    if source == sink or graph.has_edge(source, sink):
+        raise ValueError("a vertex cut needs two distinct non-adjacent vertices")
+    network = _split_network(graph, source, sink)
+    network.max_flow(2 * source + 1, 2 * sink)
+    reachable = network.residual_reachable(2 * source + 1)
+    cut = set()
+    for vertex in graph.nodes():
+        if vertex in (source, sink):
+            continue
+        if 2 * vertex in reachable and 2 * vertex + 1 not in reachable:
+            cut.add(vertex)
+    return cut
+
+
+def minimum_vertex_cut(graph: Graph) -> set[NodeId]:
+    """A minimum vertex cut of a connected, non-complete graph.
+
+    Useful to place Byzantine nodes in the worst position the paper
+    reasons about: |cut| = κ(G) nodes whose removal partitions the
+    correct remainder.
+
+    Raises:
+        ValueError: for disconnected or complete graphs (no vertex cut
+            exists in either case).
+    """
+    n = graph.n
+    if not graph.is_connected():
+        raise ValueError("a disconnected graph has no minimum vertex cut")
+    if graph.edge_count == n * (n - 1) // 2:
+        raise ValueError("a complete graph has no vertex cut")
+    best_cut: set[NodeId] | None = None
+    pivot = min(graph.nodes(), key=graph.degree)
+    pivot_neighbors = sorted(graph.neighbors(pivot))
+    candidate_pairs = [
+        (pivot, other)
+        for other in graph.nodes()
+        if other != pivot and other not in graph.neighbors(pivot)
+    ]
+    candidate_pairs.extend(
+        (x, y)
+        for i, x in enumerate(pivot_neighbors)
+        for y in pivot_neighbors[i + 1:]
+        if not graph.has_edge(x, y)
+    )
+    for s, t in candidate_pairs:
+        cut = minimum_st_vertex_cut(graph, s, t)
+        if best_cut is None or len(cut) < len(best_cut):
+            best_cut = cut
+            if len(best_cut) == 0:
+                break
+    if best_cut is None:  # pragma: no cover - excluded by the guards above
+        raise ValueError("no separable pair found")
+    return best_cut
+
+
+def is_vertex_cut(graph: Graph, nodes: frozenset[NodeId] | set[NodeId]) -> bool:
+    """Whether removing ``nodes`` disconnects the remaining vertices.
+
+    This is the Safety condition of Def. 3 ("if V_b is a vertex cut of
+    G ...").  Removing everything (or all but one vertex) is not a cut.
+    """
+    remaining = [v for v in graph.nodes() if v not in nodes]
+    if len(remaining) <= 1:
+        return False
+    stripped = graph.without_nodes(nodes)
+    reachable = stripped.bfs_reachable(remaining[0], forbidden=frozenset(nodes))
+    return len(reachable) != len(remaining)
+
+
+def is_byzantine_partitionable(graph: Graph, t: int) -> bool:
+    """Corollary 1: G is t-Byzantine partitionable iff κ(G) <= t."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if t == 0:
+        return not graph.is_connected()
+    return vertex_connectivity(graph, cutoff=t + 1) <= t

@@ -1,0 +1,55 @@
+"""Topology generators for every family in the paper's evaluation."""
+
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.graphs.generators.drone import (
+    CLUSTER_RADIUS,
+    DroneDeployment,
+    drone_deployment,
+    drone_graph,
+)
+from repro.graphs.generators.logharary import k_diamond, k_pasted_tree
+from repro.graphs.generators.mobility import (
+    MobilitySnapshot,
+    drifting_scatters_mission,
+    random_waypoint_mission,
+)
+from repro.graphs.generators.regular import (
+    circulant_graph,
+    harary_graph,
+    random_regular_graph,
+)
+from repro.graphs.generators.wheels import generalized_wheel, multipartite_wheel
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "path_graph",
+    "random_connected_graph",
+    "star_graph",
+    "two_cliques_bridge",
+    "CLUSTER_RADIUS",
+    "DroneDeployment",
+    "drone_deployment",
+    "drone_graph",
+    "k_diamond",
+    "k_pasted_tree",
+    "MobilitySnapshot",
+    "drifting_scatters_mission",
+    "random_waypoint_mission",
+    "circulant_graph",
+    "harary_graph",
+    "random_regular_graph",
+    "generalized_wheel",
+    "multipartite_wheel",
+]

@@ -1,0 +1,102 @@
+"""Classic graph families used in tests, examples and illustrations.
+
+These include the two graphs of Fig. 1 (a 2-connected ring-like graph
+and a star) and the usual suspects used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph, complete_graph_edges
+
+
+def path_graph(n: int) -> Graph:
+    """The path P_n — worst case diameter, the reason R = n - 1."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle C_n (κ = 2 for n >= 3)."""
+    if n < 3:
+        raise TopologyError("a cycle needs at least 3 nodes")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """A star with node 0 at the center — Fig. 1b's 1-Byzantine-partitionable graph."""
+    if n < 2:
+        raise TopologyError("a star needs at least 2 nodes")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph K_n (κ = n - 1)."""
+    return Graph(n, complete_graph_edges(n))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows × cols grid (κ = 2 for non-degenerate grids)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Graph(rows * cols, edges)
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """A G(n, p) random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"edge probability {p} outside [0, 1]")
+    rng = random.Random(("erdos-renyi", n, p, seed).__repr__())
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def random_connected_graph(n: int, p: float, seed: int = 0, max_tries: int = 200) -> Graph:
+    """A connected G(n, p) sample, obtained by rejection.
+
+    Raises:
+        TopologyError: when no connected sample shows up within
+            ``max_tries`` draws (p too small for n).
+    """
+    for attempt in range(max_tries):
+        graph = erdos_renyi(n, p, seed=seed + attempt)
+        if graph.is_connected():
+            return graph
+    raise TopologyError(
+        f"no connected G({n}, {p}) sample in {max_tries} tries; increase p"
+    )
+
+
+def two_cliques_bridge(clique_size: int, bridges: int = 1) -> Graph:
+    """Two cliques joined by ``bridges`` vertex-disjoint bridge edges.
+
+    A handy κ = ``bridges`` testbed: the bridge endpoints on one side
+    form a minimum vertex cut.
+    """
+    if clique_size < 2:
+        raise TopologyError("cliques need at least 2 nodes")
+    if not 1 <= bridges <= clique_size:
+        raise TopologyError("bridges must be between 1 and the clique size")
+    n = 2 * clique_size
+    edges = []
+    for base in (0, clique_size):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    for b in range(bridges):
+        edges.append((b, clique_size + b))
+    return Graph(n, edges)

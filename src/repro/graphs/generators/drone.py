@@ -1,0 +1,113 @@
+"""The drone scenario: two-cluster random geometric graphs (Sec. V-B).
+
+"We create random graphs by generating random nodes in a 2D space, and
+a scope parameter decides edges: if two nodes are close enough (i.e.,
+their distance is lower than radius), then we add an edge between
+them.  Those nodes are randomly generated around two barycenters."
+
+The scenario "aims to model a drone network, where two drone scatters
+are moving away or approaching in space" (Fig. 2).  Parameters, as in
+Figs. 4-8: ``n`` nodes split between the scatters, distance ``d``
+between barycenters, communication scope ``radius``.
+
+Calibration: drones are drawn uniformly in a disc of radius 1 around
+their barycenter.  This matches the paper's anchor points — at d = 0
+and radius = 2.4 the graph is complete (any two points of a unit disc
+are at most 2 apart) and at d = 6 the graph is partitioned into the
+two scatters (the gap between discs is 4 > 2.4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+#: Radius of the disc each scatter is drawn in (see module docstring).
+CLUSTER_RADIUS = 1.0
+
+
+@dataclass(frozen=True)
+class DroneDeployment:
+    """A generated drone topology together with its geometry.
+
+    Attributes:
+        graph: the communication graph (edge iff distance < radius).
+        positions: 2D position of each node.
+        left_cluster: node ids of the scatter centered at the origin.
+        right_cluster: node ids of the scatter centered at (d, 0).
+        d: distance between barycenters.
+        radius: communication scope.
+    """
+
+    graph: Graph
+    positions: tuple[tuple[float, float], ...]
+    left_cluster: frozenset[NodeId]
+    right_cluster: frozenset[NodeId]
+    d: float
+    radius: float
+
+
+def _uniform_disc_point(
+    rng: random.Random, center_x: float, center_y: float
+) -> tuple[float, float]:
+    """A point uniform in the disc of radius CLUSTER_RADIUS around a center."""
+    # Inverse-CDF sampling: radius density is linear in a disc.
+    rho = CLUSTER_RADIUS * math.sqrt(rng.random())
+    theta = rng.random() * 2.0 * math.pi
+    return (center_x + rho * math.cos(theta), center_y + rho * math.sin(theta))
+
+
+def drone_deployment(
+    n: int, d: float, radius: float, seed: int = 0
+) -> DroneDeployment:
+    """Generate one drone scenario instance.
+
+    Args:
+        n: total number of drones; split as evenly as possible between
+            the two scatters.
+        d: distance between the two barycenters.
+        radius: communication scope (an edge exists iff the Euclidean
+            distance is strictly below ``radius``).
+        seed: RNG seed; same seed, same deployment.
+
+    Raises:
+        TopologyError: on non-positive ``radius`` or ``n < 2``.
+    """
+    if n < 2:
+        raise TopologyError("a drone scenario needs at least 2 drones")
+    if radius <= 0:
+        raise TopologyError("communication radius must be positive")
+    if d < 0:
+        raise TopologyError("barycenter distance cannot be negative")
+    rng = random.Random(("drone", n, d, radius, seed).__repr__())
+    left_count = n // 2
+    positions: list[tuple[float, float]] = []
+    for _ in range(left_count):
+        positions.append(_uniform_disc_point(rng, 0.0, 0.0))
+    for _ in range(n - left_count):
+        positions.append(_uniform_disc_point(rng, d, 0.0))
+    edges = []
+    for u in range(n):
+        ux, uy = positions[u]
+        for v in range(u + 1, n):
+            vx, vy = positions[v]
+            if math.hypot(ux - vx, uy - vy) < radius:
+                edges.append((u, v))
+    return DroneDeployment(
+        graph=Graph(n, edges),
+        positions=tuple(positions),
+        left_cluster=frozenset(range(left_count)),
+        right_cluster=frozenset(range(left_count, n)),
+        d=d,
+        radius=radius,
+    )
+
+
+def drone_graph(n: int, d: float, radius: float, seed: int = 0) -> Graph:
+    """Just the graph of :func:`drone_deployment`."""
+    return drone_deployment(n, d, radius, seed=seed).graph

@@ -1,0 +1,98 @@
+"""Logarithmic-Harary-style graphs: k-pasted-tree and k-diamond.
+
+The paper's second topology family (Sec. V-B) comes from Baldoni et
+al. [25]: *Logarithmic Harary Graphs*, k-connected graphs with (near)
+minimum edge count and small diameter, "built to have interesting
+properties for fault-tolerance and suit message flooding".
+
+The exact constructions of [25] are intricate; per DESIGN.md §2 we
+implement faithful stand-ins with the two properties the evaluation
+relies on — vertex connectivity exactly k with ⌈kn/2⌉ edges, and a
+diameter much smaller than the circulant Harary graph H_{k,n}:
+
+* :func:`k_pasted_tree` uses binary-tree-like chords (offsets that are
+  powers of two), mirroring the tree-pasting idea of the original;
+* :func:`k_diamond` uses geometrically spread chords scaled to n, so
+  routes expand then contract like a diamond.
+
+Both are circulant graphs, hence vertex-transitive and k-regular; the
+test suite asserts κ = k on the full experiment grid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.generators.regular import circulant_graph
+from repro.graphs.graph import Graph
+
+
+def _max_offset(n: int) -> int:
+    """Largest usable chord length: strictly below n / 2.
+
+    The offset n/2 (even n) pairs each node with a single antipode and
+    halves its edge contribution, which would break k-regularity.
+    """
+    return (n - 1) // 2
+
+
+def _pad_offsets(offsets: list[int], count: int, n: int) -> list[int]:
+    """Complete ``offsets`` to ``count`` distinct values in [1, (n-1)//2]."""
+    chosen = sorted(set(offsets))
+    candidate = 1
+    while len(chosen) < count:
+        if candidate > _max_offset(n):
+            raise TopologyError(
+                f"cannot find {count} distinct offsets in [1, {_max_offset(n)}]"
+            )
+        if candidate not in chosen:
+            chosen.append(candidate)
+            chosen.sort()
+        candidate += 1
+    return chosen[:count]
+
+
+def _validate(k: int, n: int) -> None:
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"this construction needs an even k >= 2, got {k}")
+    if k >= n:
+        raise TopologyError(f"need k < n, got k={k}, n={n}")
+    if k // 2 > _max_offset(n):
+        raise TopologyError(f"n={n} too small to host {k // 2} distinct offsets")
+
+
+def k_pasted_tree(k: int, n: int) -> Graph:
+    """A k-connected circulant with binary-tree-like (power-of-two) chords.
+
+    Offsets are 1, 2, 4, ..., capped at n // 2 and padded with the
+    smallest unused integers, giving diameter O(n / 2^(k/2) + k)
+    instead of the Θ(n / k) of H_{k,n}.
+    """
+    _validate(k, n)
+    wanted = k // 2
+    offsets: list[int] = []
+    value = 1
+    while len(offsets) < wanted and value <= _max_offset(n):
+        offsets.append(value)
+        value *= 2
+    offsets = _pad_offsets(offsets, wanted, n)
+    return circulant_graph(n, offsets)
+
+
+def k_diamond(k: int, n: int) -> Graph:
+    """A k-connected circulant with geometrically spread chords.
+
+    The offsets combine the unit step with geometrically spread chords
+    (~n/2, n/4, n/8, ...), so that any two nodes are joined by routes
+    that first take long chords and then progressively shorter ones —
+    an expand/contract "diamond" pattern with diameter O(k + log n).
+    """
+    _validate(k, n)
+    wanted = k // 2
+    offsets: list[int] = [1]
+    span = _max_offset(n)
+    while len(offsets) < wanted and span >= 2:
+        if span not in offsets:
+            offsets.append(span)
+        span //= 2
+    offsets = _pad_offsets(offsets, wanted, n)
+    return circulant_graph(n, offsets)

@@ -1,0 +1,107 @@
+"""Generalized and multipartite wheel graphs (Sec. V-B, [23]).
+
+Bonomi, Farina and Tixeuil use these as *worst-case* topologies for
+Byzantine analysis: "Byzantine nodes might compose a clique while it
+might have only one (generalized wheel) or few (multipartite wheel)
+path(s) that link all correct nodes".
+
+* :func:`generalized_wheel` GW(n, k): a clique of k - 2 *center* nodes
+  plus a cycle of n - (k - 2) *rim* nodes, every rim node connected to
+  every center node.  Rim degree is k, and κ(GW) = k.
+* :func:`multipartite_wheel` MPW(n, k, parts): the center clique is
+  split into ``parts`` groups spread around the rim; each rim node
+  connects to the k - 2 members of its nearest group, keeping rim
+  degree k while providing a few (rather than one) rim-only regions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph
+from repro.types import Edge
+
+
+def generalized_wheel(n: int, k: int) -> Graph:
+    """GW(n, k): center clique of size k - 2, rim cycle, full spokes.
+
+    Nodes 0 .. k-3 are the center clique; nodes k-2 .. n-1 form the rim
+    cycle.  κ = k: removing the k - 2 center nodes plus the two rim
+    neighbors of any rim node isolates it, and no smaller cut exists.
+
+    Raises:
+        TopologyError: if parameters cannot host the construction.
+    """
+    hub = k - 2
+    rim = n - hub
+    if k < 3:
+        raise TopologyError("generalized wheel needs k >= 3")
+    if rim < 3:
+        raise TopologyError(f"n={n} leaves fewer than 3 rim nodes for k={k}")
+    edges: list[Edge] = []
+    for i in range(hub):
+        for j in range(i + 1, hub):
+            edges.append((i, j))
+    for r in range(rim):
+        edges.append((hub + r, hub + (r + 1) % rim))
+        for h in range(hub):
+            edges.append((hub + r, h))
+    return Graph(n, edges)
+
+
+def multipartite_wheel(n: int, k: int, parts: int = 2) -> Graph:
+    """MPW(n, k, parts): ``parts`` center groups spread around the rim.
+
+    Unlike the generalized wheel's single hub, the center consists of
+    ``parts`` groups of k - 2 nodes each.  Each group is a clique,
+    consecutive groups (in a ring) are completely interconnected, and
+    each rim node spokes into all k - 2 members of the group at its
+    angular sector.  Rim degree is k; separating a rim segment needs
+    its sector group plus two rim neighbors (k nodes) and separating
+    the group ring needs two full groups, so κ = k while correct nodes
+    in different sectors are linked by only a *few* center paths — the
+    Byzantine worst case the family was designed for.
+
+    With ``parts = 1`` this degenerates to :func:`generalized_wheel`.
+
+    Raises:
+        TopologyError: when n cannot host ``parts`` groups and a rim.
+    """
+    if parts < 1:
+        raise TopologyError("parts must be >= 1")
+    if parts == 1:
+        return generalized_wheel(n, k)
+    if k < 3:
+        raise TopologyError("multipartite wheel needs k >= 3")
+    group_size = k - 2
+    hub = parts * group_size
+    rim = n - hub
+    if rim < parts:
+        raise TopologyError(
+            f"n={n} leaves fewer rim nodes ({rim}) than sectors ({parts})"
+        )
+    if rim < 3:
+        raise TopologyError(f"n={n} leaves fewer than 3 rim nodes for k={k}")
+
+    groups = [
+        list(range(index * group_size, (index + 1) * group_size))
+        for index in range(parts)
+    ]
+    edges: list[Edge] = []
+    for group in groups:
+        for i_pos, i in enumerate(group):
+            for j in group[i_pos + 1:]:
+                edges.append((i, j))
+    for index in range(parts):
+        successor = groups[(index + 1) % parts]
+        if successor is groups[index]:
+            continue
+        for i in groups[index]:
+            for j in successor:
+                edges.append((i, j))
+    for r in range(rim):
+        node = hub + r
+        edges.append((node, hub + (r + 1) % rim))
+        sector = (r * parts) // rim
+        for member in groups[sector]:
+            edges.append((node, member))
+    return Graph(n, edges)

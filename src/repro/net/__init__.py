@@ -1,0 +1,35 @@
+"""Network substrate: envelopes, codec, lock-step and asyncio backends."""
+
+from repro.net.asyncio_net import AsyncCluster, frame, unframe
+from repro.net.codec import (
+    ByteReader,
+    PayloadCodec,
+    codec_for_payload,
+    decode_envelope,
+    encode_envelope,
+    pack_node_id,
+    register_payload_codec,
+)
+from repro.net.message import Envelope, Outgoing, Payload, RawPayload
+from repro.net.simulator import RoundProtocol, SyncNetwork
+from repro.net.stats import TrafficStats
+
+__all__ = [
+    "AsyncCluster",
+    "frame",
+    "unframe",
+    "ByteReader",
+    "PayloadCodec",
+    "codec_for_payload",
+    "decode_envelope",
+    "encode_envelope",
+    "pack_node_id",
+    "register_payload_codec",
+    "Envelope",
+    "Outgoing",
+    "Payload",
+    "RawPayload",
+    "RoundProtocol",
+    "SyncNetwork",
+    "TrafficStats",
+]

@@ -1,0 +1,176 @@
+"""Binary wire format.
+
+The asyncio transport (:mod:`repro.net.asyncio_net`) serialises every
+message through this codec, so the "real code" path moves actual
+bytes, and the byte counts of the lock-step simulator are pinned to
+``len(encode(...))`` by tests.
+
+The codec is extensible: each payload class registers a
+:class:`PayloadCodec` with a unique tag byte.  Protocol packages
+register their codecs at import time (see ``repro.core.messages`` and
+``repro.baselines``).  Unknown tags, truncated frames and trailing
+garbage raise :class:`repro.errors.CodecError` — the normal fate of
+Byzantine junk, which receivers drop.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+
+from repro.crypto.sizes import WireProfile
+from repro.errors import CodecError
+from repro.net.message import Envelope, Payload, RawPayload
+
+_ENVELOPE_HEADER = struct.Struct(">BHHI")  # tag, sender, round, payload length
+
+
+class PayloadCodec(abc.ABC):
+    """Encoder/decoder pair for one payload class."""
+
+    #: Unique tag byte identifying the payload class on the wire.
+    tag: int
+    #: The payload class handled by this codec.
+    payload_type: type
+
+    @abc.abstractmethod
+    def encode(self, payload: Payload, profile: WireProfile) -> bytes:
+        """Serialise ``payload``; must match ``payload.encoded_size``."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes, profile: WireProfile) -> Payload:
+        """Parse payload bytes; raise :class:`CodecError` on junk."""
+
+
+_CODECS_BY_TAG: dict[int, PayloadCodec] = {}
+_CODECS_BY_TYPE: dict[type, PayloadCodec] = {}
+
+
+def register_payload_codec(codec: PayloadCodec) -> None:
+    """Register a codec; tags and payload types must be unique.
+
+    Re-registering the *same* codec class for the same tag is a no-op
+    so that re-imports stay harmless.
+    """
+    existing = _CODECS_BY_TAG.get(codec.tag)
+    if existing is not None:
+        if type(existing) is type(codec) and existing.payload_type is codec.payload_type:
+            return
+        raise CodecError(f"payload tag {codec.tag} already registered")
+    if codec.payload_type in _CODECS_BY_TYPE:
+        raise CodecError(f"payload type {codec.payload_type.__name__} already registered")
+    if not 0 <= codec.tag <= 0xFF:
+        raise CodecError(f"tag {codec.tag} does not fit one byte")
+    _CODECS_BY_TAG[codec.tag] = codec
+    _CODECS_BY_TYPE[codec.payload_type] = codec
+
+
+def codec_for_payload(payload: Payload) -> PayloadCodec:
+    """Find the registered codec for a payload instance."""
+    codec = _CODECS_BY_TYPE.get(type(payload))
+    if codec is None:
+        raise CodecError(f"no codec registered for {type(payload).__name__}")
+    return codec
+
+
+def encode_envelope(envelope: Envelope, profile: WireProfile) -> bytes:
+    """Serialise an envelope (header + payload).
+
+    The header is padded up to ``profile.envelope_header_bytes`` so
+    that ``len(encode_envelope(e)) == e.wire_size(profile)`` exactly —
+    the lock-step simulator's arithmetic accounting and the asyncio
+    transport's real bytes always agree (pinned by tests).
+    """
+    if profile.envelope_header_bytes < _ENVELOPE_HEADER.size:
+        raise CodecError(
+            f"profile header {profile.envelope_header_bytes}B below the "
+            f"codec minimum {_ENVELOPE_HEADER.size}B"
+        )
+    codec = codec_for_payload(envelope.payload)
+    body = codec.encode(envelope.payload, profile)
+    if not 0 <= envelope.round_number <= 0xFFFF:
+        raise CodecError(f"round {envelope.round_number} does not fit the header")
+    header = _ENVELOPE_HEADER.pack(
+        codec.tag, envelope.sender, envelope.round_number, len(body)
+    )
+    padding = bytes(profile.envelope_header_bytes - _ENVELOPE_HEADER.size)
+    return header + padding + body
+
+
+def decode_envelope(data: bytes, profile: WireProfile) -> Envelope:
+    """Parse an envelope; raises :class:`CodecError` on malformed input."""
+    if profile.envelope_header_bytes < _ENVELOPE_HEADER.size:
+        raise CodecError(
+            f"profile header {profile.envelope_header_bytes}B below the "
+            f"codec minimum {_ENVELOPE_HEADER.size}B"
+        )
+    if len(data) < profile.envelope_header_bytes:
+        raise CodecError("truncated envelope header")
+    tag, sender, round_number, body_length = _ENVELOPE_HEADER.unpack_from(data)
+    body = data[profile.envelope_header_bytes:]
+    if len(body) != body_length:
+        raise CodecError("payload length mismatch")
+    codec = _CODECS_BY_TAG.get(tag)
+    if codec is None:
+        raise CodecError(f"unknown payload tag {tag}")
+    payload = codec.decode(body, profile)
+    return Envelope(sender=sender, round_number=round_number, payload=payload)
+
+
+# ----------------------------------------------------------------------
+# Shared field helpers used by protocol codecs
+# ----------------------------------------------------------------------
+def pack_node_id(node_id: int) -> bytes:
+    """Two-byte big-endian node id."""
+    if not 0 <= node_id <= 0xFFFF:
+        raise CodecError(f"node id {node_id} does not fit two bytes")
+    return node_id.to_bytes(2, "big")
+
+
+class ByteReader:
+    """Sequential reader with strict bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._cursor = 0
+
+    def take(self, count: int) -> bytes:
+        """Consume exactly ``count`` bytes."""
+        if count < 0 or self._cursor + count > len(self._data):
+            raise CodecError("truncated payload")
+        chunk = self._data[self._cursor:self._cursor + count]
+        self._cursor += count
+        return chunk
+
+    def take_u8(self) -> int:
+        return self.take(1)[0]
+
+    def take_u16(self) -> int:
+        return int.from_bytes(self.take(2), "big")
+
+    def take_u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+    def finish(self) -> None:
+        """Assert all bytes were consumed (no trailing garbage)."""
+        if self._cursor != len(self._data):
+            raise CodecError("trailing bytes after payload")
+
+
+# ----------------------------------------------------------------------
+# RawPayload: tag 0, opaque bytes
+# ----------------------------------------------------------------------
+class _RawCodec(PayloadCodec):
+    tag = 0
+    payload_type = RawPayload
+
+    def encode(self, payload: RawPayload, profile: WireProfile) -> bytes:
+        return payload.data
+
+    def decode(self, data: bytes, profile: WireProfile) -> RawPayload:
+        # Raw bytes always "parse", but no protocol accepts them: the
+        # protocols type-check payloads before validation.
+        return RawPayload(data=data)
+
+
+register_payload_codec(_RawCodec())

@@ -1,0 +1,76 @@
+"""Message envelopes and the payload protocol.
+
+Every protocol message travels inside an :class:`Envelope` carrying
+the sender, the synchronous round number (or baseline epoch) and a
+payload object.  Payloads know their wire size under a
+:class:`repro.crypto.sizes.WireProfile`; the lock-step simulator uses
+that arithmetic size for network-cost accounting (Figs. 3-7) while the
+asyncio transport actually encodes them through
+:mod:`repro.net.codec` — a property test pins the two to be equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.crypto.sizes import WireProfile
+from repro.types import NodeId
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """Anything that can ride inside an :class:`Envelope`."""
+
+    def encoded_size(self, profile: WireProfile) -> int:
+        """Exact number of payload bytes under ``profile``."""
+        ...
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message on a channel.
+
+    Attributes:
+        sender: id of the emitting node (authenticated implicitly by
+            the channel: the model has reliable point-to-point links,
+            so the receiver knows which neighbor a message came from).
+        round_number: synchronous round (NECTAR) or epoch (baselines).
+        payload: the protocol payload.
+    """
+
+    sender: NodeId
+    round_number: int
+    payload: Payload
+
+    def wire_size(self, profile: WireProfile) -> int:
+        """Total on-the-wire size, header included."""
+        return profile.envelope_header_bytes + self.payload.encoded_size(profile)
+
+
+@dataclass(frozen=True)
+class Outgoing:
+    """A send request produced by a protocol during a round.
+
+    Attributes:
+        destination: the neighbor to send to.
+        payload: what to send.
+    """
+
+    destination: NodeId
+    payload: Payload
+
+
+@dataclass(frozen=True)
+class RawPayload:
+    """Opaque bytes — the shape of garbage a Byzantine node may inject.
+
+    Correct receivers fail to parse it (or fail validation) and drop
+    it; the class exists so attacks can be expressed and so the codec
+    path is exercised with junk.
+    """
+
+    data: bytes
+
+    def encoded_size(self, profile: WireProfile) -> int:
+        return len(self.data)

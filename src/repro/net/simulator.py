@@ -1,0 +1,168 @@
+"""Deterministic lock-step execution of synchronous round protocols.
+
+The paper's system model (Sec. II) *is* the synchronous model: there
+is a bound ΔT such that every message sent in a round arrives before
+the next one, channels are reliable, and processing time is
+negligible.  A lock-step scheduler is therefore a faithful executor of
+that model (what the paper approximates with timeouts over TCP, we get
+exactly).
+
+The scheduler also enforces the model's physical constraints on
+*every* node, Byzantine ones included:
+
+* messages can only be sent over existing channels — "Byzantine nodes
+  cannot prevent two correct neighbors from communicating" and cannot
+  reach non-neighbors directly;
+* every sent message is delivered within the round (reliable links).
+
+An optional ``loss_rate`` relaxes the reliable-link assumption for
+*baseline* experiments only: MindTheGap's original evaluation tolerates
+unreliable MANET channels ("MtG detects 90% of partitions despite a
+40% message loss rate", Sec. VI-A), which
+``benchmarks/bench_mtg_loss_tolerance.py`` reproduces.  NECTAR's model
+requires reliable channels, so the experiment runner never enables
+loss for NECTAR runs.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Mapping
+
+from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
+from repro.errors import ChannelError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.net.message import Envelope, Outgoing
+from repro.net.stats import TrafficStats
+from repro.types import NodeId
+
+
+class RoundProtocol(abc.ABC):
+    """A per-node protocol driven by the synchronous scheduler.
+
+    Lifecycle, for rounds ``1 .. R``:
+
+    1. :meth:`begin_round` — produce this round's sends (round 1 sends
+       the initial messages; later rounds typically relay what was
+       received in the previous round);
+    2. :meth:`deliver` — called once per incoming message of the round;
+    3. after the last round, :meth:`conclude` — the one-shot
+       ``decide()`` of the specification.
+    """
+
+    @property
+    @abc.abstractmethod
+    def node_id(self) -> NodeId:
+        """Id of the node running this protocol instance."""
+
+    @abc.abstractmethod
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        """Return the messages to send in ``round_number``."""
+
+    @abc.abstractmethod
+    def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
+        """Handle one message received during ``round_number``."""
+
+    @abc.abstractmethod
+    def conclude(self) -> Any:
+        """Decide; called exactly once, after the last round."""
+
+
+class SyncNetwork:
+    """Lock-step scheduler over a static graph.
+
+    Args:
+        graph: the communication graph G.
+        protocols: one :class:`RoundProtocol` per node id of ``graph``.
+        profile: wire profile used for byte accounting.
+        loss_rate: probability that any single message is dropped in
+            flight (0.0 = the paper's reliable channels).  Dropped
+            messages count as sent but not received.
+        loss_seed: RNG seed for the loss process.
+
+    Raises:
+        ProtocolError: when the protocol map does not cover the graph
+            or ``loss_rate`` is outside [0, 1).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocols: Mapping[NodeId, RoundProtocol],
+        profile: WireProfile = DEFAULT_PROFILE,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if set(protocols) != set(graph.nodes()):
+            raise ProtocolError("protocols must cover exactly the graph's nodes")
+        for node_id, protocol in protocols.items():
+            if protocol.node_id != node_id:
+                raise ProtocolError(
+                    f"protocol registered at {node_id} claims id {protocol.node_id}"
+                )
+        if not 0.0 <= loss_rate < 1.0:
+            raise ProtocolError(f"loss_rate {loss_rate} outside [0, 1)")
+        self._graph = graph
+        self._protocols = dict(protocols)
+        self._profile = profile
+        self._loss_rate = loss_rate
+        self._loss_rng = random.Random(("channel-loss", loss_seed).__repr__())
+        self.stats = TrafficStats()
+        self._ran = False
+
+    def run(self, rounds: int) -> dict[NodeId, Any]:
+        """Execute ``rounds`` synchronous rounds and collect verdicts.
+
+        Returns:
+            ``{node_id: protocol.conclude()}`` for every node.
+
+        Raises:
+            ChannelError: if any node (Byzantine included) attempts to
+                send over a non-existent channel — the model forbids it.
+            ProtocolError: when reused, or on a non-positive round count.
+        """
+        if self._ran:
+            raise ProtocolError("a SyncNetwork instance runs exactly once")
+        if rounds < 1:
+            raise ProtocolError("at least one round is required")
+        self._ran = True
+        node_order = sorted(self._protocols)
+        for round_number in range(1, rounds + 1):
+            deliveries: list[Envelope] = []
+            destinations: list[NodeId] = []
+            for node_id in node_order:
+                protocol = self._protocols[node_id]
+                for outgoing in protocol.begin_round(round_number):
+                    self._check_channel(node_id, outgoing)
+                    envelope = Envelope(
+                        sender=node_id,
+                        round_number=round_number,
+                        payload=outgoing.payload,
+                    )
+                    size = envelope.wire_size(self._profile)
+                    self.stats.record_send(node_id, size)
+                    deliveries.append(envelope)
+                    destinations.append(outgoing.destination)
+            # Synchrony: everything sent in this round arrives before
+            # the next round starts (unless the lossy-channel mode
+            # drops it).
+            for envelope, destination in zip(deliveries, destinations):
+                if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+                    continue
+                self.stats.record_receive(
+                    destination, envelope.wire_size(self._profile)
+                )
+                self._protocols[destination].deliver(
+                    round_number, envelope.sender, envelope.payload
+                )
+        return {
+            node_id: self._protocols[node_id].conclude() for node_id in node_order
+        }
+
+    def _check_channel(self, sender: NodeId, outgoing: Outgoing) -> None:
+        if not self._graph.has_edge(sender, outgoing.destination):
+            raise ChannelError(
+                f"node {sender} attempted to send to non-neighbor "
+                f"{outgoing.destination}; no such channel exists in G"
+            )

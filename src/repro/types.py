@@ -1,0 +1,155 @@
+"""Shared vocabulary for the NECTAR reproduction.
+
+The paper (Sec. II) works with a set of ``n`` processes identified by
+unique IDs, connected by a static undirected graph, with up to ``t``
+Byzantine processes.  This module defines the small, dependency-free
+types that every other subpackage builds on: node identifiers, edges,
+the two-valued decision of a partition detection algorithm (Sec. III-D)
+and the verdict record a node produces at the end of a run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+# A node is identified by a small non-negative integer, as in the paper
+# where processes are p_1 .. p_n.  Using plain ints keeps the simulator
+# fast and the wire encoding compact (two bytes per ID, see net.codec).
+NodeId = int
+
+#: Maximum node id representable on the wire (two bytes, see net.codec).
+MAX_NODE_ID = 0xFFFF
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:
+    """Return the canonical (sorted) form of an undirected edge.
+
+    The communication graph is undirected (Sec. II), so ``(u, v)`` and
+    ``(v, u)`` denote the same channel.  All bookkeeping structures key
+    edges by their canonical form to avoid double counting.
+
+    Raises:
+        ValueError: if ``u == v`` (self loops are not channels).
+    """
+    if u == v:
+        raise ValueError(f"self loop ({u}, {v}) is not a communication channel")
+    if u < v:
+        return (u, v)
+    return (v, u)
+
+
+Edge = tuple[NodeId, NodeId]
+
+
+class Decision(enum.Enum):
+    """The two outcomes of Byzantine partition detection (Sec. III-C).
+
+    ``NOT_PARTITIONABLE``
+        No placement of the ``t`` Byzantine nodes can disconnect the
+        correct nodes.
+
+    ``PARTITIONABLE``
+        Byzantine nodes *might* be able to disconnect correct nodes
+        (this is not certain: correct nodes cannot distinguish a low
+        connectivity from Byzantine nodes hiding edges).
+    """
+
+    NOT_PARTITIONABLE = "NOT_PARTITIONABLE"
+    PARTITIONABLE = "PARTITIONABLE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """What a node reports after its one-shot ``decide()`` call.
+
+    Attributes:
+        decision: one of the two :class:`Decision` values.
+        confirmed: the additional Boolean output of NECTAR (Sec. III-D,
+            Validity): ``True`` means the node detected an *actual*
+            partition, i.e. some nodes were unreachable in its view and
+            the Byzantine nodes effectively form a vertex cut.
+        reachable: the number of nodes the deciding node saw as
+            reachable (``r`` in Algorithm 1).
+        connectivity: the vertex connectivity the node computed on its
+            discovered graph (``k`` in Algorithm 1), or ``None`` when
+            the protocol did not need to compute it (baselines, or
+            unreachable nodes short-circuit).
+    """
+
+    decision: Decision
+    confirmed: bool
+    reachable: int
+    connectivity: int | None = None
+
+    @property
+    def partition_suspected(self) -> bool:
+        """True when the verdict reports any form of partition danger."""
+        return self.decision is Decision.PARTITIONABLE
+
+
+class BaselineDecision(enum.Enum):
+    """Outcome vocabulary of the non-Byzantine baselines (MtG, MtGv2).
+
+    The baselines of Sec. V-A answer the *classic* partition detection
+    question — is the network currently partitioned? — rather than the
+    Byzantine-partitionability question.
+    """
+
+    CONNECTED = "CONNECTED"
+    PARTITIONED = "PARTITIONED"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Reference facts about a run, computed from the real topology.
+
+    Built by the experiment layer from the *actual* graph and the
+    *actual* Byzantine placement, which no node knows (Sec. II).
+
+    Attributes:
+        n: total number of nodes.
+        t: declared maximum number of Byzantine nodes.
+        byzantine: the actual set of Byzantine node ids.
+        connectivity: vertex connectivity ``k`` of the full graph G.
+        graph_partitioned: whether G itself is disconnected (Def. 1).
+        correct_subgraph_partitioned: whether the subgraph induced by
+            the correct nodes is disconnected (the condition of Lemma 3
+            and of the Safety property).
+        byzantine_partitionable: whether G is t-Byzantine partitionable,
+            i.e. ``connectivity <= t`` (Corollary 1).
+    """
+
+    n: int
+    t: int
+    byzantine: frozenset[NodeId]
+    connectivity: int
+    graph_partitioned: bool
+    correct_subgraph_partitioned: bool
+    byzantine_partitionable: bool
+
+    @property
+    def correct_nodes(self) -> frozenset[NodeId]:
+        """Ids of the correct (non-Byzantine) nodes."""
+        return frozenset(range(self.n)) - self.byzantine
+
+
+def validate_node_ids(ids: Iterable[NodeId]) -> None:
+    """Check that every id fits the wire format and is non-negative.
+
+    Raises:
+        ValueError: on a negative or oversized id.
+    """
+    for node_id in ids:
+        if not 0 <= node_id <= MAX_NODE_ID:
+            raise ValueError(
+                f"node id {node_id} outside the representable range "
+                f"[0, {MAX_NODE_ID}]"
+            )

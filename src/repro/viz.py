@@ -1,0 +1,97 @@
+"""Terminal visualisation: sparklines, bar charts, drone maps.
+
+Plotting libraries are out of scope offline; these helpers render the
+library's data structures as plain text, good enough for the CLI, the
+examples and quick log inspection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import FigureData, Series
+from repro.graphs.generators.drone import DroneDeployment
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-line unicode sparkline of a numeric series."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[
+            min(
+                len(_SPARK_LEVELS) - 1,
+                int((value - low) / span * len(_SPARK_LEVELS)),
+            )
+        ]
+        for value in values
+    )
+
+
+def series_sparkline(series: Series) -> str:
+    """Sparkline of a figure series' means, with its range."""
+    means = [point.mean for point in series.points]
+    if not means:
+        return f"{series.name}: (empty)"
+    return (
+        f"{series.name}: {sparkline(means)}  "
+        f"[{min(means):.3g} .. {max(means):.3g}]"
+    )
+
+
+def figure_sparklines(figure: FigureData) -> str:
+    """All series of a figure as labelled sparklines."""
+    lines = [f"{figure.figure_id} — {figure.title}"]
+    lines.extend(series_sparkline(series) for series in figure.series)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: list[tuple[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bars with labels, scaled to the maximum value."""
+    if not rows:
+        return ""
+    scale = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1 if value > 0 else 0, int(width * value / scale))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def drone_map(
+    deployment: DroneDeployment, width: int = 60, height: int = 16
+) -> str:
+    """ASCII map of a drone deployment (left scatter `o`, right `x`).
+
+    The bounding box of all positions is fitted to the character grid;
+    collisions render as `*`.
+    """
+    xs = [p[0] for p in deployment.positions]
+    ys = [p[1] for p in deployment.positions]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for node, (x, y) in enumerate(deployment.positions):
+        column = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        marker = "o" if node in deployment.left_cluster else "x"
+        current = grid[row][column]
+        grid[row][column] = marker if current == " " else "*"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"o: left scatter ({len(deployment.left_cluster)})  "
+        f"x: right scatter ({len(deployment.right_cluster)})  "
+        f"d={deployment.d} radius={deployment.radius}"
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"

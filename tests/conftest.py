@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decision import clear_connectivity_cache
+from repro.crypto.keys import KeyStore, build_keystore
+from repro.crypto.signer import HmacScheme
+
+
+@pytest.fixture(autouse=True)
+def _fresh_connectivity_cache():
+    """Isolate the decision-phase memoisation between tests."""
+    clear_connectivity_cache()
+    yield
+    clear_connectivity_cache()
+
+
+@pytest.fixture
+def scheme() -> HmacScheme:
+    """A fresh HMAC signature scheme."""
+    return HmacScheme()
+
+
+@pytest.fixture
+def keystore(scheme: HmacScheme) -> KeyStore:
+    """Keys for a 10-process deployment."""
+    return build_keystore(scheme, 10, seed=7)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(1234)

@@ -1,0 +1,136 @@
+"""Tests for the accuracy scoring (Fig. 8 semantics)."""
+
+import pytest
+
+from repro.experiments.accuracy import (
+    acceptable_nectar_decisions,
+    agreement_holds,
+    baseline_decision_correct,
+    baseline_expected_decision,
+    nectar_decision_correct,
+    success_rate,
+    validity_holds,
+)
+from repro.types import BaselineDecision, Decision, GroundTruth, Verdict
+
+
+def truth(
+    n=10,
+    t=2,
+    connectivity=5,
+    graph_partitioned=False,
+    correct_subgraph_partitioned=False,
+):
+    return GroundTruth(
+        n=n,
+        t=t,
+        byzantine=frozenset(range(t)),
+        connectivity=connectivity,
+        graph_partitioned=graph_partitioned,
+        correct_subgraph_partitioned=correct_subgraph_partitioned,
+        byzantine_partitionable=connectivity <= t,
+    )
+
+
+def verdict(decision, confirmed=False):
+    return Verdict(decision=decision, confirmed=confirmed, reachable=10)
+
+
+class TestAcceptableDecisions:
+    def test_cut_forces_partitionable(self):
+        acceptable = acceptable_nectar_decisions(
+            truth(correct_subgraph_partitioned=True)
+        )
+        assert acceptable == {Decision.PARTITIONABLE}
+
+    def test_high_connectivity_forces_not_partitionable(self):
+        acceptable = acceptable_nectar_decisions(truth(connectivity=5, t=2))
+        assert acceptable == {Decision.NOT_PARTITIONABLE}
+
+    def test_actually_partitioned_graph(self):
+        acceptable = acceptable_nectar_decisions(
+            truth(connectivity=0, graph_partitioned=True)
+        )
+        assert acceptable == {Decision.PARTITIONABLE}
+
+    def test_gray_zone_allows_both(self):
+        acceptable = acceptable_nectar_decisions(truth(connectivity=3, t=2))
+        assert acceptable == {Decision.PARTITIONABLE, Decision.NOT_PARTITIONABLE}
+
+
+class TestScoring:
+    def test_nectar_correct(self):
+        assert nectar_decision_correct(
+            verdict(Decision.PARTITIONABLE), truth(correct_subgraph_partitioned=True)
+        )
+        assert not nectar_decision_correct(
+            verdict(Decision.NOT_PARTITIONABLE),
+            truth(correct_subgraph_partitioned=True),
+        )
+
+    def test_baseline_expected(self):
+        assert (
+            baseline_expected_decision(truth(correct_subgraph_partitioned=True))
+            is BaselineDecision.PARTITIONED
+        )
+        assert baseline_expected_decision(truth()) is BaselineDecision.CONNECTED
+
+    def test_baseline_correct(self):
+        assert baseline_decision_correct(BaselineDecision.CONNECTED, truth())
+        assert not baseline_decision_correct(
+            BaselineDecision.CONNECTED, truth(correct_subgraph_partitioned=True)
+        )
+
+    def test_success_rate_mixed(self):
+        reference = truth(correct_subgraph_partitioned=True)
+        verdicts = {
+            0: verdict(Decision.PARTITIONABLE),
+            1: verdict(Decision.PARTITIONABLE),
+            2: verdict(Decision.NOT_PARTITIONABLE),
+            3: BaselineDecision.PARTITIONED,
+        }
+        assert success_rate(verdicts, reference) == pytest.approx(0.75)
+
+    def test_success_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate({}, truth())
+
+    def test_unknown_verdict_type_rejected(self):
+        with pytest.raises(TypeError):
+            success_rate({0: "yes"}, truth())
+
+
+class TestAgreement:
+    def test_holds_on_identical_decisions(self):
+        verdicts = {
+            0: verdict(Decision.PARTITIONABLE, confirmed=True),
+            1: verdict(Decision.PARTITIONABLE, confirmed=False),
+        }
+        assert agreement_holds(verdicts)  # confirmed may differ
+
+    def test_broken_on_split_decisions(self):
+        verdicts = {
+            0: verdict(Decision.PARTITIONABLE),
+            1: verdict(Decision.NOT_PARTITIONABLE),
+        }
+        assert not agreement_holds(verdicts)
+
+    def test_baseline_agreement(self):
+        assert agreement_holds({0: BaselineDecision.CONNECTED})
+        assert not agreement_holds(
+            {0: BaselineDecision.CONNECTED, 1: BaselineDecision.PARTITIONED}
+        )
+
+
+class TestValidity:
+    def test_vacuous_without_confirmed(self):
+        verdicts = {0: verdict(Decision.PARTITIONABLE, confirmed=False)}
+        assert validity_holds(verdicts, truth())
+
+    def test_holds_with_actual_cut(self):
+        verdicts = {0: verdict(Decision.PARTITIONABLE, confirmed=True)}
+        assert validity_holds(verdicts, truth(correct_subgraph_partitioned=True))
+
+    def test_violated_by_spurious_confirmation(self):
+        verdicts = {0: verdict(Decision.PARTITIONABLE, confirmed=True)}
+        assert not validity_holds(verdicts, truth())

@@ -1,0 +1,82 @@
+"""Tests for graph analysis helpers."""
+
+from repro.graphs.analysis import (
+    correct_subgraph,
+    correct_subgraph_partitioned,
+    diameter,
+    summarize,
+)
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestDiameter:
+    def test_path(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_complete(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_single_node(self):
+        assert diameter(Graph(1)) == 0
+
+    def test_disconnected_is_none(self):
+        assert diameter(Graph(4, [(0, 1), (2, 3)])) is None
+
+
+class TestCorrectSubgraph:
+    def test_edges_removed(self):
+        graph = cycle_graph(5)
+        sub = correct_subgraph(graph, {0})
+        assert sub.degree(0) == 0
+        assert sub.has_edge(1, 2)
+
+    def test_partitioned_detection_star(self):
+        graph = star_graph(6)
+        assert correct_subgraph_partitioned(graph, {0})  # center Byzantine
+        assert not correct_subgraph_partitioned(graph, {3})  # leaf Byzantine
+
+    def test_cycle_resists_single_byzantine(self):
+        assert not correct_subgraph_partitioned(cycle_graph(6), {2})
+
+    def test_cycle_two_byzantine_opposite(self):
+        assert correct_subgraph_partitioned(cycle_graph(6), {0, 3})
+
+    def test_fewer_than_two_correct_nodes_is_not_a_partition(self):
+        graph = cycle_graph(3)
+        assert not correct_subgraph_partitioned(graph, {0, 1})
+        assert not correct_subgraph_partitioned(graph, {0, 1, 2})
+
+    def test_isolated_correct_node_counts(self):
+        graph = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        assert correct_subgraph_partitioned(graph, {1})
+
+
+class TestSummarize:
+    def test_cycle_summary(self):
+        summary = summarize(cycle_graph(6))
+        assert summary.n == 6
+        assert summary.edges == 6
+        assert summary.min_degree == 2
+        assert summary.max_degree == 2
+        assert summary.connectivity == 2
+        assert summary.diameter == 3
+        assert summary.connected
+
+    def test_describe_contains_fields(self):
+        text = summarize(cycle_graph(6)).describe()
+        assert "n=6" in text and "κ=2" in text
+
+    def test_disconnected_summary(self):
+        summary = summarize(Graph(3, [(0, 1)]))
+        assert not summary.connected
+        assert summary.diameter is None
+        assert "∞" in summary.describe()

@@ -1,0 +1,101 @@
+"""Tests for the Bloom filter substrate."""
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_reasonable_sizing(self):
+        bits, hashes = optimal_parameters(20, 0.01)
+        assert bits % 8 == 0
+        assert 160 <= bits <= 256  # ~9.6 bits/element for 1%
+        assert 5 <= hashes <= 9
+
+    def test_lower_fp_needs_more_bits(self):
+        loose, _ = optimal_parameters(50, 0.1)
+        tight, _ = optimal_parameters(50, 0.001)
+        assert tight > loose
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_parameters(10, 1.0)
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(128, 4)
+        bloom.add(42)
+        assert 42 in bloom
+
+    def test_fresh_filter_is_empty(self):
+        bloom = BloomFilter(128, 4)
+        assert all(item not in bloom for item in range(20))
+        assert bloom.ones() == 0
+
+    def test_false_positive_rate_is_low(self):
+        bits, hashes = optimal_parameters(30, 0.01)
+        bloom = BloomFilter(bits, hashes)
+        for item in range(30):
+            bloom.add(item)
+        false_positives = sum(1 for item in range(1000, 3000) if item in bloom)
+        assert false_positives < 2000 * 0.05  # generous margin over 1%
+
+    def test_union(self):
+        a = BloomFilter(64, 3)
+        b = BloomFilter(64, 3)
+        a.add(1)
+        b.add(2)
+        changed = a.union_with(b)
+        assert changed
+        assert 1 in a and 2 in a
+
+    def test_union_no_change(self):
+        a = BloomFilter(64, 3)
+        a.add(1)
+        b = a.copy()
+        assert not a.union_with(b)
+
+    def test_union_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64, 3).union_with(BloomFilter(128, 3))
+
+    def test_saturation_attack(self):
+        bloom = BloomFilter(64, 3)
+        bloom.saturate()
+        assert bloom.is_saturated()
+        assert all(item in bloom for item in range(1000))
+
+    def test_serialisation_roundtrip(self):
+        bloom = BloomFilter(64, 3)
+        bloom.add(7)
+        rebuilt = BloomFilter.from_bytes(64, 3, bloom.to_bytes())
+        assert rebuilt == bloom
+        assert 7 in rebuilt
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(64, 3, b"wrong-size")
+
+    def test_copy_is_independent(self):
+        bloom = BloomFilter(64, 3)
+        twin = bloom.copy()
+        twin.add(5)
+        assert 5 not in bloom
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(63, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+
+    def test_ones_counts_bits(self):
+        bloom = BloomFilter(64, 1)
+        bloom.add(9)
+        assert bloom.ones() == 1

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestCheck:
+    def test_safe_topology_exits_zero(self, capsys):
+        code = main(["check", "--family", "harary", "--n", "12", "--k", "4", "--t", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOT_PARTITIONABLE" in out
+        assert "KB sent per node" in out
+
+    def test_unsafe_topology_exits_one(self, capsys):
+        code = main(["check", "--family", "harary", "--n", "12", "--k", "2", "--t", "3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PARTITIONABLE" in out
+
+    def test_drone_check(self, capsys):
+        code = main(
+            ["check", "--drone", "--n", "12", "--distance", "6", "--radius", "1.2", "--t", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "confirmed=True" in out
+
+    def test_missing_topology_choice(self, capsys):
+        code = main(["check", "--n", "10"])
+        assert code == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_ground_truth_printed(self, capsys):
+        main(["check", "--family", "k-diamond", "--n", "16", "--k", "4", "--t", "1"])
+        out = capsys.readouterr().out
+        assert "Byzantine-partitionable" in out
+
+
+class TestFigure:
+    def test_fast_figure_renders(self, capsys):
+        code = main(["figure", "ablation-rounds"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rounds" in out
+        assert "KB sent per node" in out
+
+    def test_all_figures_registered(self):
+        for name in (
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "topology-comparison", "connectivity-resilience",
+        ):
+            assert name in FIGURES
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestFigureSpark:
+    def test_sparklines_printed(self, capsys):
+        code = main(["figure", "ablation-sigsize", "--spark"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert any(glyph in out for glyph in "▁▂▃▄▅▆▇█")
+
+
+class TestMap:
+    def test_map_renders_with_verdict(self, capsys):
+        code = main(["map", "--n", "14", "--distance", "6", "--radius", "1.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "left scatter" in out
+        assert "NECTAR (t=1):" in out
+        assert "PARTITIONABLE" in out
+
+
+class TestTopologies:
+    def test_lists_every_family(self, capsys):
+        code = main(["topologies", "--n", "24", "--k", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for family in ("k-regular", "harary", "k-diamond", "generalized-wheel"):
+            assert family in out
+
+    def test_reports_unavailable_combinations(self, capsys):
+        main(["topologies", "--n", "6", "--k", "6"])
+        out = capsys.readouterr().out
+        assert "unavailable" in out
+
+
+class TestAttack:
+    def test_attack_summary(self, capsys):
+        code = main(["attack", "--n", "15", "--t", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NECTAR success rate: 100%" in out
+        assert "MtG success rate   : 0%" in out
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

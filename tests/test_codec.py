@@ -1,0 +1,213 @@
+"""Tests for the binary codec, including size-pinning property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mtg import BloomPayload
+from repro.baselines.mtgv2 import SignedId, SignedIdsPayload
+from repro.core.messages import EdgeAnnouncement, NectarBatch
+from repro.crypto.chain import ChainLink
+from repro.crypto.proofs import NeighborhoodProof
+from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE
+from repro.errors import CodecError
+from repro.net.codec import (
+    ByteReader,
+    decode_envelope,
+    encode_envelope,
+    pack_node_id,
+)
+from repro.net.message import Envelope, RawPayload
+
+
+def make_announcement(profile, edge=(1, 2), chain_signers=(1,)):
+    sig = profile.signature_bytes
+    proof = NeighborhoodProof(
+        edge=edge, signature_lo=b"\x01" * sig, signature_hi=b"\x02" * sig
+    )
+    chain = tuple(
+        ChainLink(signer=s, signature=bytes([s % 251]) * sig) for s in chain_signers
+    )
+    return EdgeAnnouncement(proof=proof, chain=chain)
+
+
+class TestEnvelopeRoundtrip:
+    @pytest.mark.parametrize("profile", [DEFAULT_PROFILE, COMPACT_PROFILE])
+    def test_nectar_batch(self, profile):
+        batch = NectarBatch(
+            announcements=(
+                make_announcement(profile, (1, 2), (1,)),
+                make_announcement(profile, (3, 9), (3, 5, 7)),
+            )
+        )
+        envelope = Envelope(sender=5, round_number=3, payload=batch)
+        data = encode_envelope(envelope, profile)
+        decoded = decode_envelope(data, profile)
+        assert decoded == envelope
+
+    def test_bloom_payload(self):
+        payload = BloomPayload(bit_count=64, hash_count=3, bits=b"\xaa" * 8)
+        envelope = Envelope(sender=1, round_number=2, payload=payload)
+        decoded = decode_envelope(
+            encode_envelope(envelope, DEFAULT_PROFILE), DEFAULT_PROFILE
+        )
+        assert decoded == envelope
+
+    def test_signed_ids_payload(self):
+        sig = DEFAULT_PROFILE.signature_bytes
+        payload = SignedIdsPayload(
+            entries=(SignedId(4, b"\x04" * sig), SignedId(7, b"\x07" * sig))
+        )
+        envelope = Envelope(sender=9, round_number=1, payload=payload)
+        decoded = decode_envelope(
+            encode_envelope(envelope, DEFAULT_PROFILE), DEFAULT_PROFILE
+        )
+        assert decoded == envelope
+
+    def test_raw_payload(self):
+        envelope = Envelope(sender=0, round_number=1, payload=RawPayload(b"junk"))
+        decoded = decode_envelope(
+            encode_envelope(envelope, DEFAULT_PROFILE), DEFAULT_PROFILE
+        )
+        assert decoded.payload == RawPayload(b"junk")
+
+
+class TestSizePinning:
+    """len(encode(...)) must equal the arithmetic wire_size exactly."""
+
+    @pytest.mark.parametrize("profile", [DEFAULT_PROFILE, COMPACT_PROFILE])
+    def test_nectar_batch_size(self, profile):
+        batch = NectarBatch(
+            announcements=(
+                make_announcement(profile, (0, 1), (0,)),
+                make_announcement(profile, (2, 3), (2, 4, 6, 8)),
+            )
+        )
+        envelope = Envelope(sender=1, round_number=4, payload=batch)
+        assert len(encode_envelope(envelope, profile)) == envelope.wire_size(profile)
+
+    def test_bloom_size(self):
+        payload = BloomPayload(bit_count=192, hash_count=7, bits=bytes(24))
+        envelope = Envelope(sender=2, round_number=1, payload=payload)
+        assert (
+            len(encode_envelope(envelope, DEFAULT_PROFILE))
+            == envelope.wire_size(DEFAULT_PROFILE)
+        )
+
+    def test_signed_ids_size(self):
+        sig = DEFAULT_PROFILE.signature_bytes
+        payload = SignedIdsPayload(entries=(SignedId(1, bytes(sig)),))
+        envelope = Envelope(sender=2, round_number=1, payload=payload)
+        assert (
+            len(encode_envelope(envelope, DEFAULT_PROFILE))
+            == envelope.wire_size(DEFAULT_PROFILE)
+        )
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            decode_envelope(b"\x01\x02", DEFAULT_PROFILE)
+
+    def test_unknown_tag(self):
+        payload = RawPayload(b"x")
+        data = bytearray(
+            encode_envelope(Envelope(0, 1, payload), DEFAULT_PROFILE)
+        )
+        data[0] = 0xEE
+        with pytest.raises(CodecError):
+            decode_envelope(bytes(data), DEFAULT_PROFILE)
+
+    def test_length_mismatch(self):
+        data = encode_envelope(
+            Envelope(0, 1, RawPayload(b"abcd")), DEFAULT_PROFILE
+        )
+        with pytest.raises(CodecError):
+            decode_envelope(data + b"extra", DEFAULT_PROFILE)
+
+    def test_truncated_batch_body(self):
+        batch = NectarBatch(announcements=(make_announcement(DEFAULT_PROFILE),))
+        data = encode_envelope(Envelope(0, 1, batch), DEFAULT_PROFILE)
+        # Fix up the declared length so only the payload parse fails.
+        truncated = bytearray(data[:-10])
+        truncated[5:9] = (len(truncated) - DEFAULT_PROFILE.envelope_header_bytes).to_bytes(4, "big")
+        with pytest.raises(CodecError):
+            decode_envelope(bytes(truncated), DEFAULT_PROFILE)
+
+    def test_round_too_large(self):
+        with pytest.raises(CodecError):
+            encode_envelope(
+                Envelope(0, 1 << 16, RawPayload(b"x")), DEFAULT_PROFILE
+            )
+
+    def test_signature_width_mismatch_rejected_at_encode(self):
+        batch = NectarBatch(announcements=(make_announcement(COMPACT_PROFILE),))
+        with pytest.raises(ValueError):
+            encode_envelope(Envelope(0, 1, batch), DEFAULT_PROFILE)
+
+
+class TestByteReader:
+    def test_sequential_reads(self):
+        reader = ByteReader(b"\x00\x01\x00\x00\x00\x02\xff")
+        assert reader.take_u16() == 1
+        assert reader.take_u32() == 2
+        assert reader.take_u8() == 0xFF
+        reader.finish()
+
+    def test_overread_raises(self):
+        reader = ByteReader(b"\x00")
+        with pytest.raises(CodecError):
+            reader.take_u16()
+
+    def test_trailing_bytes_raise(self):
+        reader = ByteReader(b"\x00\x01")
+        reader.take_u8()
+        with pytest.raises(CodecError):
+            reader.finish()
+
+
+class TestPackNodeId:
+    def test_roundtrip(self):
+        assert pack_node_id(513) == b"\x02\x01"
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CodecError):
+            pack_node_id(1 << 16)
+
+
+# ----------------------------------------------------------------------
+# Property test: random batches round-trip and sizes pin
+# ----------------------------------------------------------------------
+@st.composite
+def batches(draw):
+    sig = DEFAULT_PROFILE.signature_bytes
+    count = draw(st.integers(min_value=0, max_value=5))
+    announcements = []
+    for _ in range(count):
+        lo = draw(st.integers(min_value=0, max_value=200))
+        hi = draw(st.integers(min_value=201, max_value=400))
+        proof = NeighborhoodProof(
+            edge=(lo, hi),
+            signature_lo=draw(st.binary(min_size=sig, max_size=sig)),
+            signature_hi=draw(st.binary(min_size=sig, max_size=sig)),
+        )
+        chain_length = draw(st.integers(min_value=0, max_value=4))
+        chain = tuple(
+            ChainLink(
+                signer=draw(st.integers(min_value=0, max_value=400)),
+                signature=draw(st.binary(min_size=sig, max_size=sig)),
+            )
+            for _ in range(chain_length)
+        )
+        announcements.append(EdgeAnnouncement(proof=proof, chain=chain))
+    return NectarBatch(announcements=tuple(announcements))
+
+
+@settings(max_examples=50, deadline=None)
+@given(batches(), st.integers(min_value=0, max_value=65535),
+       st.integers(min_value=0, max_value=65535))
+def test_batch_roundtrip_and_size(batch, sender, round_number):
+    envelope = Envelope(sender=sender, round_number=round_number, payload=batch)
+    data = encode_envelope(envelope, DEFAULT_PROFILE)
+    assert len(data) == envelope.wire_size(DEFAULT_PROFILE)
+    assert decode_envelope(data, DEFAULT_PROFILE) == envelope

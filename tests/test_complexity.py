@@ -1,0 +1,113 @@
+"""Tests for the analytical cost model (Sec. IV-E).
+
+The predictor must match the simulator *exactly*, per node — these
+tests validate both the model and the simulator against each other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import predict_nectar_traffic
+from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE, PAYLOAD_PROFILE
+from repro.experiments.runner import nectar_cost_trial
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.graphs.generators.drone import drone_graph
+from repro.graphs.generators.regular import harary_graph
+from repro.graphs.generators.wheels import generalized_wheel
+from repro.graphs.graph import Graph
+
+
+TOPOLOGIES = [
+    path_graph(6),
+    cycle_graph(7),
+    star_graph(8),
+    complete_graph(6),
+    grid_graph(3, 4),
+    harary_graph(4, 12),
+    two_cliques_bridge(4, bridges=2),
+    generalized_wheel(14, 4),
+    drone_graph(12, 2.0, 1.5, seed=3),
+    Graph(5, [(0, 1), (2, 3)]),  # disconnected
+    Graph(4, []),                # empty
+]
+
+
+@pytest.mark.parametrize("graph", TOPOLOGIES, ids=range(len(TOPOLOGIES)))
+def test_prediction_matches_simulator_exactly(graph):
+    prediction = predict_nectar_traffic(graph)
+    measured = nectar_cost_trial(graph)
+    assert prediction.bytes_sent == dict(measured.stats.bytes_sent) or (
+        prediction.bytes_sent
+        == {
+            v: measured.stats.bytes_sent.get(v, 0) for v in graph.nodes()
+        }
+    )
+    assert prediction.messages_sent == {
+        v: measured.stats.messages_sent.get(v, 0) for v in graph.nodes()
+    }
+
+
+@pytest.mark.parametrize(
+    "profile", [DEFAULT_PROFILE, COMPACT_PROFILE, PAYLOAD_PROFILE]
+)
+def test_prediction_matches_under_every_profile(profile):
+    graph = harary_graph(4, 10)
+    prediction = predict_nectar_traffic(graph, profile=profile)
+    measured = nectar_cost_trial(graph, profile=profile)
+    assert prediction.total_bytes == measured.stats.total_bytes_sent()
+
+
+def test_prediction_with_reduced_round_budget():
+    graph = path_graph(8)  # diameter 7: the budget actually bites
+    for rounds in (2, 4, 7):
+        prediction = predict_nectar_traffic(graph, rounds=rounds)
+        measured = nectar_cost_trial(graph, rounds=rounds)
+        assert prediction.total_bytes == measured.stats.total_bytes_sent()
+
+
+def test_mean_kb_helper():
+    graph = cycle_graph(6)
+    prediction = predict_nectar_traffic(graph)
+    measured = nectar_cost_trial(graph)
+    assert prediction.mean_kb_per_node() == pytest.approx(measured.mean_kb_sent())
+
+
+def test_paper_scaling_claims():
+    """Sec. IV-E qualitative claims, on the analytical model directly."""
+    # More edges, more cost (same n).
+    sparse = predict_nectar_traffic(harary_graph(2, 20)).total_bytes
+    dense = predict_nectar_traffic(harary_graph(6, 20)).total_bytes
+    assert dense > sparse
+    # Lower diameter, lower cost at equal n and edge count: compare the
+    # circulant Harary graph with the binary-chord pasted tree.
+    from repro.graphs.generators.logharary import k_pasted_tree
+
+    circulant = predict_nectar_traffic(harary_graph(6, 40))
+    logarithmic = predict_nectar_traffic(k_pasted_tree(6, 40))
+    assert logarithmic.total_bytes < circulant.total_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.data())
+def test_prediction_matches_on_random_graphs(n, data):
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = data.draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    graph = Graph(n, edges)
+    prediction = predict_nectar_traffic(graph)
+    measured = nectar_cost_trial(graph)
+    assert prediction.bytes_sent == {
+        v: measured.stats.bytes_sent.get(v, 0) for v in graph.nodes()
+    }
+    assert prediction.messages_sent == {
+        v: measured.stats.messages_sent.get(v, 0) for v in graph.nodes()
+    }

@@ -1,0 +1,99 @@
+"""Property-based tests of the signature substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chain import chain_signers, extend_chain, verify_chain
+from repro.crypto.keys import build_keystore
+from repro.crypto.proofs import make_proof, proof_bytes, verify_proof
+from repro.crypto.signer import HmacScheme
+
+# One deployment shared across examples (keygen is the slow part).
+_SCHEME = HmacScheme()
+_STORE = build_keystore(_SCHEME, 12, seed=99)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(min_size=0, max_size=128),
+    st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=6),
+)
+def test_random_chains_verify_and_record_signers(payload, signers):
+    chain = ()
+    for signer in signers:
+        chain = extend_chain(_SCHEME, _STORE.key_pair_of(signer), payload, chain)
+    assert verify_chain(_SCHEME, _STORE.directory, payload, chain)
+    assert chain_signers(chain) == tuple(signers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=64),
+    st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=5),
+    st.data(),
+)
+def test_any_single_mutation_breaks_the_chain(payload, signers, data):
+    chain = ()
+    for signer in signers:
+        chain = extend_chain(_SCHEME, _STORE.key_pair_of(signer), payload, chain)
+    mutation = data.draw(
+        st.sampled_from(["payload", "signature", "signer", "drop-inner"])
+    )
+    if mutation == "payload":
+        index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        mutated = bytearray(payload)
+        mutated[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+        assert not verify_chain(_SCHEME, _STORE.directory, bytes(mutated), chain)
+    elif mutation == "signature":
+        index = data.draw(st.integers(min_value=0, max_value=len(chain) - 1))
+        link = chain[index]
+        tampered = bytearray(link.signature)
+        tampered[0] ^= 0x01
+        broken = (
+            chain[:index]
+            + (type(link)(signer=link.signer, signature=bytes(tampered)),)
+            + chain[index + 1:]
+        )
+        assert not verify_chain(_SCHEME, _STORE.directory, payload, broken)
+    elif mutation == "signer":
+        index = data.draw(st.integers(min_value=0, max_value=len(chain) - 1))
+        link = chain[index]
+        impostor = (link.signer + 1) % 12
+        broken = (
+            chain[:index]
+            + (type(link)(signer=impostor, signature=link.signature),)
+            + chain[index + 1:]
+        )
+        assert not verify_chain(_SCHEME, _STORE.directory, payload, broken)
+    else:  # drop-inner: removing an inner layer invalidates outer ones
+        if len(chain) < 2:
+            return
+        broken = chain[1:]
+        assert not verify_chain(_SCHEME, _STORE.directory, payload, broken)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=11),
+    st.integers(min_value=0, max_value=11),
+)
+def test_proofs_verify_iff_untampered(u, v):
+    if u == v:
+        return
+    proof = make_proof(_SCHEME, _STORE.key_pair_of(u), _STORE.key_pair_of(v))
+    assert verify_proof(_SCHEME, _STORE.directory, proof)
+    # Deterministic encoding: same edge, same bytes.
+    again = make_proof(_SCHEME, _STORE.key_pair_of(u), _STORE.key_pair_of(v))
+    assert proof_bytes(proof) == proof_bytes(again)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=0, max_size=256))
+def test_signatures_bind_to_exact_message(message):
+    rng = random.Random(0)
+    pair = _SCHEME.generate_keypair(500, rng)
+    signature = _SCHEME.sign(pair, message)
+    assert _SCHEME.verify(pair.public_key, message, signature)
+    assert not _SCHEME.verify(pair.public_key, message + b"\x00", signature)

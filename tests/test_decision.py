@@ -1,0 +1,98 @@
+"""Tests for NECTAR's decision phase (Algorithm 1, ll. 16-23)."""
+
+import pytest
+
+from repro.core.adjacency import DiscoveredGraph
+from repro.core.decision import clear_connectivity_cache, decide
+from repro.crypto.proofs import make_proof
+from repro.types import Decision
+
+
+@pytest.fixture
+def discovered_builder(scheme, keystore):
+    def build(n, edges):
+        discovered = DiscoveredGraph(n)
+        for u, v in edges:
+            discovered.add(
+                make_proof(scheme, keystore.key_pair_of(u), keystore.key_pair_of(v))
+            )
+        return discovered
+
+    return build
+
+
+def ring_edges(n):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+class TestDecide:
+    def test_full_view_high_connectivity(self, discovered_builder):
+        # 5-node ring plus chords: κ = 2 > t = 1.
+        edges = ring_edges(5) + [(0, 2), (1, 3)]
+        verdict = decide(discovered_builder(5, edges), node_id=0, t=1)
+        assert verdict.decision is Decision.NOT_PARTITIONABLE
+        assert not verdict.confirmed
+        assert verdict.reachable == 5
+        assert verdict.connectivity >= 2
+
+    def test_low_connectivity_is_partitionable(self, discovered_builder):
+        # A path: κ = 1 <= t = 1.
+        edges = [(i, i + 1) for i in range(4)]
+        verdict = decide(discovered_builder(5, edges), node_id=0, t=1)
+        assert verdict.decision is Decision.PARTITIONABLE
+        assert not verdict.confirmed  # everyone reachable
+        assert verdict.connectivity == 1
+
+    def test_unreachable_nodes_confirm_partition(self, discovered_builder):
+        # Node 4 never discovered: r != n.
+        edges = ring_edges(4)
+        verdict = decide(discovered_builder(5, edges), node_id=0, t=1)
+        assert verdict.decision is Decision.PARTITIONABLE
+        assert verdict.confirmed
+        assert verdict.reachable == 4
+        assert verdict.connectivity is None  # short-circuited
+
+    def test_t_zero_connected_graph(self, discovered_builder):
+        verdict = decide(discovered_builder(4, ring_edges(4)), node_id=1, t=0)
+        assert verdict.decision is Decision.NOT_PARTITIONABLE
+
+    def test_cutoff_preserves_decision(self, discovered_builder):
+        edges = ring_edges(6) + [(0, 3), (1, 4), (2, 5)]
+        exact = decide(discovered_builder(6, edges), node_id=0, t=1)
+        clear_connectivity_cache()
+        capped = decide(
+            discovered_builder(6, edges), node_id=0, t=1, connectivity_cutoff=2
+        )
+        assert capped.decision is exact.decision
+        assert capped.connectivity == 2  # truncated report
+
+    def test_cutoff_at_or_below_t_rejected(self, discovered_builder):
+        discovered = discovered_builder(4, ring_edges(4))
+        with pytest.raises(ValueError):
+            decide(discovered, node_id=0, t=2, connectivity_cutoff=2)
+
+    def test_same_view_same_verdict_across_nodes(self, discovered_builder):
+        """Agreement follows from identical views (Lemma 2's conclusion)."""
+        edges = ring_edges(6)
+        verdicts = [
+            decide(discovered_builder(6, edges), node_id=v, t=1) for v in range(6)
+        ]
+        assert len({v.decision for v in verdicts}) == 1
+
+    def test_connectivity_cache_is_shared(self, discovered_builder, monkeypatch):
+        """The κ computation runs once for identical edge sets."""
+        calls = []
+        import repro.core.decision as decision_module
+
+        original = decision_module.vertex_connectivity
+
+        def counting(graph, cutoff=None):
+            calls.append(1)
+            return original(graph, cutoff=cutoff)
+
+        monkeypatch.setattr(decision_module, "vertex_connectivity", counting)
+        clear_connectivity_cache()
+        edges = ring_edges(5)
+        for node in range(5):
+            decide(discovered_builder(5, edges), node_id=node, t=1)
+        assert len(calls) == 1

@@ -1,0 +1,141 @@
+"""Tests for Dolev's unsigned reliable communication."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.extensions.dolev import (
+    DIRECT,
+    DolevMessage,
+    DolevNode,
+    disjoint_path_support,
+    dolev_round_count,
+)
+from repro.graphs.generators.classic import cycle_graph, two_cliques_bridge
+from repro.graphs.generators.regular import harary_graph
+from repro.net.message import RawPayload
+from repro.net.simulator import SyncNetwork
+
+
+def run_dolev(graph, t, sources, silent=frozenset()):
+    """Run Dolev broadcast; ``silent`` nodes are crash-Byzantine."""
+    protocols = {}
+    for v in graph.nodes():
+        content = f"msg-{v}" if v in sources else None
+        protocols[v] = DolevNode(v, t, graph.neighbors(v), broadcast=content)
+    # Crash-faulty nodes: replace with mute relays (send nothing).
+    for v in silent:
+        protocols[v] = DolevNode(v, t, graph.neighbors(v), broadcast=None)
+        protocols[v].begin_round = lambda r: []  # type: ignore[method-assign]
+    network = SyncNetwork(graph, protocols)
+    verdicts = network.run(dolev_round_count(graph.n))
+    return protocols, verdicts
+
+
+class TestDisjointPathSupport:
+    def test_direct_counts_alone(self):
+        assert disjoint_path_support(0, 5, [DIRECT], threshold=1)
+
+    def test_direct_plus_disjoint_relays(self):
+        paths = [DIRECT, (1,), (2,)]
+        assert disjoint_path_support(0, 5, paths, threshold=3)
+
+    def test_overlapping_paths_do_not_stack(self):
+        paths = [(1, 2), (1, 3)]  # both pass through 1
+        assert disjoint_path_support(0, 5, paths, threshold=1)
+        assert not disjoint_path_support(0, 5, paths, threshold=2)
+
+    def test_disjoint_relay_paths(self):
+        paths = [(1, 2), (3, 4)]
+        assert disjoint_path_support(0, 5, paths, threshold=2)
+
+    def test_cyclic_path_is_worthless(self):
+        assert not disjoint_path_support(0, 5, [(1, 1)], threshold=1)
+
+    def test_threshold_zero_is_trivial(self):
+        assert disjoint_path_support(0, 5, [], threshold=0)
+
+    def test_branching_evidence_combines(self):
+        # Evidence forms a braid: 0-1-3-T and 0-2-3-T share vertex 3,
+        # but 0-1-4-T completes two disjoint routes.
+        paths = [(1, 3), (2, 3), (1, 4)]
+        assert disjoint_path_support(0, 9, paths, threshold=2)
+
+
+class TestDolevBroadcast:
+    def test_t0_floods_a_cycle(self):
+        graph = cycle_graph(5)
+        _, verdicts = run_dolev(graph, t=0, sources={0})
+        # Every node except the source must deliver.
+        assert all((0, "msg-0") in verdicts[v] for v in range(1, 5))
+
+    def test_t1_needs_3_connectivity(self):
+        # Harary H(3, 8) is 3-connected = 2t+1 for t=1.
+        graph = harary_graph(3, 8)
+        _, verdicts = run_dolev(graph, t=1, sources={0})
+        assert all((0, "msg-0") in verdicts[v] for v in range(1, 8))
+
+    def test_crash_fault_does_not_block_delivery(self):
+        graph = harary_graph(3, 8)
+        silent = frozenset({4})
+        _, verdicts = run_dolev(graph, t=1, sources={0}, silent=silent)
+        for v in range(1, 8):
+            if v in silent:
+                continue
+            assert (0, "msg-0") in verdicts[v]
+
+    def test_insufficient_connectivity_blocks_delivery(self):
+        # One bridge between cliques: only 1 disjoint path, t=1 needs 2.
+        graph = two_cliques_bridge(4, bridges=1)
+        _, verdicts = run_dolev(graph, t=1, sources={0})
+        # Nodes in the far clique cannot assemble 2 disjoint paths.
+        far = [5, 6, 7]
+        assert all((0, "msg-0") not in verdicts[v] for v in far)
+
+    def test_two_bridges_unblock_t1(self):
+        graph = two_cliques_bridge(4, bridges=2)
+        _, verdicts = run_dolev(graph, t=1, sources={0})
+        assert all((0, "msg-0") in verdicts[v] for v in range(1, 8))
+
+    def test_multiple_sources(self):
+        graph = harary_graph(3, 8)
+        _, verdicts = run_dolev(graph, t=1, sources={0, 3})
+        for v in range(8):
+            others = {0, 3} - {v}
+            for source in others:
+                assert (source, f"msg-{source}") in verdicts[v]
+
+
+class TestDolevNodeUnit:
+    def test_direct_reception_requires_source_channel(self):
+        node = DolevNode(5, 1, {1, 2})
+        fake = DolevMessage(source=9, content="x", path=DIRECT)
+        node.deliver(1, 1, fake)  # sender 1 claims a direct copy from 9
+        assert node.delivered == frozenset()
+
+    def test_path_must_end_at_sender(self):
+        node = DolevNode(5, 0, {1, 2})
+        spoofed = DolevMessage(source=9, content="x", path=(3,))
+        node.deliver(1, 1, spoofed)  # path says 3, channel says 1
+        assert node.delivered == frozenset()
+
+    def test_junk_ignored(self):
+        node = DolevNode(5, 0, {1})
+        node.deliver(1, 1, RawPayload(b"zz"))
+        assert node.delivered == frozenset()
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ProtocolError):
+            DolevNode(0, -1, {1})
+
+    def test_self_neighbor_rejected(self):
+        with pytest.raises(ProtocolError):
+            DolevNode(0, 1, {0})
+
+    def test_message_size_grows_with_path(self):
+        from repro.crypto.sizes import DEFAULT_PROFILE
+
+        short = DolevMessage(source=0, content="x", path=())
+        long = DolevMessage(source=0, content="x", path=(1, 2, 3))
+        assert long.encoded_size(DEFAULT_PROFILE) > short.encoded_size(
+            DEFAULT_PROFILE
+        )

@@ -1,0 +1,40 @@
+"""Keep the example scripts working: run each one end-to-end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_main_runs(path, capsys):
+    """Each example's main() completes and prints something."""
+    module = load_example(path)
+    module.main()
+    assert capsys.readouterr().out.strip()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_embedded_assertions(path):
+    """Each example ships its own pinned assertions; run them."""
+    module = load_example(path)
+    checks = [
+        getattr(module, name)
+        for name in dir(module)
+        if name.startswith("test_")
+    ]
+    assert checks, f"{path.name} has no embedded test"
+    for check in checks:
+        check()

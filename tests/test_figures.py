@@ -1,0 +1,154 @@
+"""Smoke and shape tests for the figure reproduction functions.
+
+These run the real experiment code at a tiny scale and assert the
+*qualitative* shapes the paper reports; the benchmark harness runs the
+same functions at larger scale and prints the quantitative tables.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_batching,
+    ablation_round_count,
+    ablation_signature_size,
+    ablation_spam_dedup,
+    connectivity_resilience,
+    fig3_random_regular,
+    fig3_regular_cost,
+    fig4_drone_nectar,
+    fig5_drone_mtgv2,
+    fig6_drone_scaling_nectar,
+    fig7_drone_scaling_mtgv2,
+    fig8_byzantine_resilience,
+    topology_cost_comparison,
+)
+
+
+def series_map(figure):
+    return {s.name: {p.x: p.mean for p in s.points} for s in figure.series}
+
+
+class TestFig3:
+    def test_cost_grows_with_n_and_k(self):
+        figure = fig3_regular_cost(ns=(10, 16, 22), ks=(2, 4))
+        data = series_map(figure)
+        k2 = data["Nectar: k = 2"]
+        k4 = data["Nectar: k = 4"]
+        assert k2[10] < k2[16] < k2[22]
+        assert all(k4[n] > k2[n] for n in (10, 16, 22))
+
+
+class TestFig3Random:
+    def test_random_regular_matches_harary_means(self):
+        """Sampling noise aside, both Fig. 3 variants tell one story."""
+        deterministic = series_map(fig3_regular_cost(ns=(16,), ks=(4,)))
+        sampled = series_map(
+            fig3_random_regular(ns=(16,), ks=(4,), trials=3)
+        )
+        harary_mean = deterministic["Nectar: k = 4"][16]
+        random_mean = sampled["Nectar: k = 4"][16]
+        assert random_mean == pytest.approx(harary_mean, rel=0.25)
+
+
+class TestFig4:
+    def test_nectar_cost_decreases_with_distance(self):
+        """Denser graphs (small d) cost more; MtG stays tiny and flat."""
+        figure = fig4_drone_nectar(
+            distances=(0.0, 6.0), radii=(2.4,), n=12, trials=2
+        )
+        data = series_map(figure)
+        nectar = data["Nectar: radius = 2.4"]
+        assert nectar[0.0] > nectar[6.0]
+        mtg = data["MtG"]
+        assert max(mtg.values()) < min(nectar.values())
+        assert max(mtg.values()) < 5.0  # a few KB at most
+
+
+class TestFig5:
+    def test_mtgv2_cheaper_when_separated(self):
+        figure = fig5_drone_mtgv2(
+            distances=(0.0, 6.0), radii=(1.8,), n=12, trials=2
+        )
+        data = series_map(figure)
+        mtgv2 = data["MtGv2: radius = 1.8"]
+        assert mtgv2[6.0] < mtgv2[0.0]
+        # MtGv2 sits above MtG but within a couple orders of magnitude.
+        assert max(data["MtG"].values()) < max(mtgv2.values())
+
+
+class TestFig6And7:
+    def test_nectar_grows_much_faster_than_mtgv2(self):
+        ns = (8, 14, 20)
+        nectar = series_map(
+            fig6_drone_scaling_nectar(ns=ns, distances=(0.0,), trials=2)
+        )["Nectar: d = 0.0"]
+        mtgv2 = series_map(
+            fig7_drone_scaling_mtgv2(ns=ns, distances=(0.0,), trials=2)
+        )["MtGv2: d = 0.0"]
+        assert nectar[8] < nectar[14] < nectar[20]
+        assert mtgv2[8] < mtgv2[20]
+        # The growth gap widens with n (quadratic-ish vs near-linear).
+        assert nectar[20] / mtgv2[20] > nectar[8] / mtgv2[8]
+
+    def test_distance_ordering(self):
+        figure = fig6_drone_scaling_nectar(
+            ns=(16,), distances=(0.0, 5.0), trials=2
+        )
+        data = series_map(figure)
+        assert data["Nectar: d = 0.0"][16] > data["Nectar: d = 5.0"][16]
+
+
+class TestConnectivityResilience:
+    def test_nectar_and_mtg_claims_on_one_family(self):
+        figure = connectivity_resilience(
+            families=("k-diamond",), n=16, k=4, ts=(2,), trials=2
+        )
+        data = series_map(figure)
+        assert data["Nectar [k-diamond]"][2] == pytest.approx(1.0)
+        assert data["MtG [k-diamond]"][2] == pytest.approx(0.0)
+
+
+class TestFig8:
+    def test_headline_resilience_shape(self):
+        figure = fig8_byzantine_resilience(n=15, ts=(0, 2), trials=2)
+        data = series_map(figure)
+        # t = 0: everyone detects the plain partition.
+        assert data["Nectar (ours)"][0] == pytest.approx(1.0)
+        assert data["MtG"][0] == pytest.approx(1.0)
+        assert data["MtGv2"][0] == pytest.approx(1.0)
+        # t = 2: NECTAR stays perfect, MtG collapses, MtGv2 splits.
+        assert data["Nectar (ours)"][2] == pytest.approx(1.0)
+        assert data["MtG"][2] == pytest.approx(0.0)
+        assert 0.2 <= data["MtGv2"][2] <= 0.8
+
+
+class TestTopologyComparison:
+    def test_all_families_measured(self):
+        figure = topology_cost_comparison(n=18, k=4, trials=1)
+        names = {s.name for s in figure.series}
+        assert "k-regular" in names
+        assert "generalized-wheel" in names
+        assert any("cheaper" in note for note in figure.notes)
+
+
+class TestAblations:
+    def test_rounds_flat_beyond_diameter(self):
+        figure = ablation_round_count(n=16, k=4)
+        points = figure.series[0].points
+        beyond = [p.mean for p in points if p.x > points[0].x]
+        assert max(beyond) == pytest.approx(min(beyond))
+
+    def test_spam_does_not_inflate_correct_nodes(self):
+        figure = ablation_spam_dedup(n=12, k=4)
+        points = {p.x: p.mean for p in figure.series[0].points}
+        assert points[1] < points[0] * 1.5  # dedup keeps it bounded
+
+    def test_batching_saves_bytes(self):
+        figure = ablation_batching(n=12, k=4)
+        points = {p.x: p.mean for p in figure.series[0].points}
+        assert points[0] < points[1]
+
+    def test_smaller_signatures_cost_less(self):
+        figure = ablation_signature_size(n=12, k=4)
+        points = {p.x: p.mean for p in figure.series[0].points}
+        assert points[32] < points[64]

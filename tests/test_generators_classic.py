@@ -1,0 +1,111 @@
+"""Tests for the classic graph generators."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+
+
+class TestPath:
+    def test_shape(self):
+        graph = path_graph(5)
+        assert graph.edge_count == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+
+class TestCycle:
+    def test_shape(self):
+        graph = cycle_graph(6)
+        assert graph.edge_count == 6
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            cycle_graph(2)
+
+
+class TestStar:
+    def test_shape(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 6
+        assert all(graph.degree(v) == 1 for v in range(1, 7))
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            star_graph(1)
+
+
+class TestComplete:
+    def test_shape(self):
+        graph = complete_graph(5)
+        assert graph.edge_count == 10
+        assert vertex_connectivity(graph) == 4
+
+
+class TestGrid:
+    def test_shape(self):
+        graph = grid_graph(2, 3)
+        assert graph.n == 6
+        assert graph.edge_count == 7
+
+    def test_degenerate_row(self):
+        graph = grid_graph(1, 4)
+        assert graph.edge_count == 3
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid_graph(0, 3)
+
+
+class TestErdosRenyi:
+    def test_p_zero_is_empty(self):
+        assert erdos_renyi(8, 0.0).edge_count == 0
+
+    def test_p_one_is_complete(self):
+        assert erdos_renyi(6, 1.0).edge_count == 15
+
+    def test_deterministic_in_seed(self):
+        assert erdos_renyi(10, 0.4, seed=3) == erdos_renyi(10, 0.4, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(10, 0.4, seed=3) != erdos_renyi(10, 0.4, seed=4)
+
+    def test_invalid_probability(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(5, 1.5)
+
+
+class TestRandomConnected:
+    def test_result_is_connected(self):
+        graph = random_connected_graph(12, 0.3, seed=0)
+        assert graph.is_connected()
+
+    def test_hopeless_density_raises(self):
+        with pytest.raises(TopologyError):
+            random_connected_graph(30, 0.0, max_tries=5)
+
+
+class TestTwoCliquesBridge:
+    def test_connectivity_equals_bridges(self):
+        for bridges in (1, 2, 4):
+            graph = two_cliques_bridge(5, bridges=bridges)
+            assert vertex_connectivity(graph) == bridges
+
+    def test_invalid_bridges(self):
+        with pytest.raises(TopologyError):
+            two_cliques_bridge(4, bridges=5)
+
+    def test_invalid_clique(self):
+        with pytest.raises(TopologyError):
+            two_cliques_bridge(1)

@@ -1,0 +1,145 @@
+"""Tests for the log-Harary stand-ins, the wheels and the drone graphs."""
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.analysis import diameter
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators.drone import (
+    CLUSTER_RADIUS,
+    drone_deployment,
+    drone_graph,
+)
+from repro.graphs.generators.logharary import k_diamond, k_pasted_tree
+from repro.graphs.generators.regular import harary_graph
+from repro.graphs.generators.wheels import generalized_wheel, multipartite_wheel
+
+
+class TestLogHararyFamilies:
+    @pytest.mark.parametrize("k,n", [(2, 16), (4, 24), (6, 30), (6, 60)])
+    def test_pasted_tree_connectivity(self, k, n):
+        assert vertex_connectivity(k_pasted_tree(k, n)) == k
+
+    @pytest.mark.parametrize("k,n", [(2, 16), (4, 24), (6, 30), (6, 60)])
+    def test_diamond_connectivity(self, k, n):
+        assert vertex_connectivity(k_diamond(k, n)) == k
+
+    @pytest.mark.parametrize("builder", [k_pasted_tree, k_diamond])
+    def test_minimum_edge_count(self, builder):
+        graph = builder(6, 40)
+        assert graph.edge_count == 6 * 40 // 2
+
+    def test_smaller_diameter_than_circulant_harary(self):
+        """The point of the family: same (n, k), much shorter routes."""
+        n, k = 64, 6
+        base = diameter(harary_graph(k, n))
+        assert diameter(k_pasted_tree(k, n)) < base
+        assert diameter(k_diamond(k, n)) < base
+
+    def test_diamond_diameter_is_logarithmic(self):
+        n, k = 128, 8
+        diam = diameter(k_diamond(k, n))
+        assert diam <= 2 * (k + math.ceil(math.log2(n)))
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(TopologyError):
+            k_pasted_tree(3, 20)
+        with pytest.raises(TopologyError):
+            k_diamond(5, 20)
+
+    def test_rejects_k_ge_n(self):
+        with pytest.raises(TopologyError):
+            k_pasted_tree(20, 20)
+
+
+class TestGeneralizedWheel:
+    @pytest.mark.parametrize("n,k", [(20, 4), (30, 6), (40, 10)])
+    def test_connectivity(self, n, k):
+        assert vertex_connectivity(generalized_wheel(n, k)) == k
+
+    def test_rim_degree_is_k(self):
+        graph = generalized_wheel(20, 5)
+        hub = 5 - 2
+        for rim_node in range(hub, 20):
+            assert graph.degree(rim_node) == 5
+
+    def test_small_diameter(self):
+        assert diameter(generalized_wheel(50, 6)) <= 3
+
+    def test_rejects_tiny_rim(self):
+        with pytest.raises(TopologyError):
+            generalized_wheel(6, 6)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(TopologyError):
+            generalized_wheel(10, 2)
+
+
+class TestMultipartiteWheel:
+    @pytest.mark.parametrize("n,k,parts", [(24, 4, 2), (30, 5, 2), (36, 6, 3)])
+    def test_connectivity(self, n, k, parts):
+        assert vertex_connectivity(multipartite_wheel(n, k, parts=parts)) == k
+
+    def test_parts_one_degenerates_to_generalized_wheel(self):
+        assert multipartite_wheel(20, 5, parts=1) == generalized_wheel(20, 5)
+
+    def test_rim_degree_is_k(self):
+        graph = multipartite_wheel(30, 6, parts=2)
+        hub = 2 * (6 - 2)
+        for rim_node in range(hub, 30):
+            assert graph.degree(rim_node) == 6
+
+    def test_rejects_hub_bigger_than_n(self):
+        with pytest.raises(TopologyError):
+            multipartite_wheel(10, 6, parts=3)
+
+
+class TestDroneScenario:
+    def test_zero_distance_large_radius_is_complete(self):
+        # Paper anchor: d = 0, radius = 2.4 -> fully connected.
+        graph = drone_graph(20, 0.0, 2.4, seed=0)
+        assert graph.edge_count == 20 * 19 // 2
+
+    def test_far_clusters_are_partitioned(self):
+        # Paper anchor: d = 6 -> two parts.
+        deployment = drone_deployment(20, 6.0, 2.4, seed=0)
+        graph = deployment.graph
+        assert not graph.is_connected()
+        left = deployment.left_cluster
+        for u in left:
+            for v in deployment.right_cluster:
+                assert not graph.has_edge(u, v)
+
+    def test_positions_inside_cluster_discs(self):
+        deployment = drone_deployment(30, 5.0, 1.0, seed=3)
+        for node in deployment.left_cluster:
+            x, y = deployment.positions[node]
+            assert math.hypot(x, y) <= CLUSTER_RADIUS + 1e-9
+        for node in deployment.right_cluster:
+            x, y = deployment.positions[node]
+            assert math.hypot(x - 5.0, y) <= CLUSTER_RADIUS + 1e-9
+
+    def test_edges_respect_radius(self):
+        deployment = drone_deployment(15, 2.0, 1.3, seed=1)
+        for u, v in deployment.graph.edges():
+            ux, uy = deployment.positions[u]
+            vx, vy = deployment.positions[v]
+            assert math.hypot(ux - vx, uy - vy) < 1.3
+
+    def test_deterministic(self):
+        assert drone_graph(12, 1.0, 1.5, seed=9) == drone_graph(12, 1.0, 1.5, seed=9)
+
+    def test_cluster_split(self):
+        deployment = drone_deployment(11, 3.0, 1.0, seed=0)
+        assert len(deployment.left_cluster) == 5
+        assert len(deployment.right_cluster) == 6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            drone_graph(1, 0.0, 1.0)
+        with pytest.raises(TopologyError):
+            drone_graph(10, 0.0, 0.0)
+        with pytest.raises(TopologyError):
+            drone_graph(10, -1.0, 1.0)

@@ -1,0 +1,90 @@
+"""Tests for k-regular k-connected generators (Harary + random regular)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators.regular import (
+    circulant_graph,
+    harary_graph,
+    random_regular_graph,
+)
+
+
+class TestCirculant:
+    def test_offset_one_is_cycle(self):
+        graph = circulant_graph(7, [1])
+        assert graph.edge_count == 7
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(TopologyError):
+            circulant_graph(8, [5])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            circulant_graph(2, [1])
+
+
+class TestHarary:
+    @pytest.mark.parametrize(
+        "k,n",
+        [(2, 8), (4, 10), (6, 13), (3, 10), (5, 12), (3, 11), (5, 11), (10, 20)],
+    )
+    def test_connectivity_is_exactly_k(self, k, n):
+        graph = harary_graph(k, n)
+        assert vertex_connectivity(graph) == k
+
+    @pytest.mark.parametrize("k,n", [(2, 8), (4, 10), (6, 13), (10, 20)])
+    def test_even_k_is_regular_with_minimum_edges(self, k, n):
+        graph = harary_graph(k, n)
+        assert all(graph.degree(v) == k for v in graph.nodes())
+        assert graph.edge_count == (k * n) // 2
+
+    def test_odd_k_edge_count_is_ceiling(self):
+        graph = harary_graph(3, 10)
+        assert graph.edge_count == 15  # ceil(3*10/2)
+
+    def test_k_one_is_a_path(self):
+        graph = harary_graph(1, 6)
+        assert graph.edge_count == 5
+        assert vertex_connectivity(graph) == 1
+
+    def test_rejects_k_at_least_n(self):
+        with pytest.raises(TopologyError):
+            harary_graph(5, 5)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(TopologyError):
+            harary_graph(0, 5)
+
+    def test_paper_grid_even_ks(self):
+        """The Fig. 3 parameter grid (even k) yields κ = k."""
+        for k in (2, 10, 18):
+            graph = harary_graph(k, 40)
+            assert vertex_connectivity(graph, cutoff=k + 1) == k
+
+
+class TestRandomRegular:
+    def test_degrees(self):
+        graph = random_regular_graph(12, 3, seed=1)
+        assert all(graph.degree(v) == 3 for v in graph.nodes())
+
+    def test_connected(self):
+        graph = random_regular_graph(16, 4, seed=2)
+        assert graph.is_connected()
+
+    def test_deterministic(self):
+        assert random_regular_graph(10, 3, seed=5) == random_regular_graph(10, 3, seed=5)
+
+    def test_require_connectivity(self):
+        graph = random_regular_graph(12, 3, seed=3, require_connectivity=True)
+        assert vertex_connectivity(graph) == 3
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(TopologyError):
+            random_regular_graph(7, 3)
+
+    def test_rejects_k_ge_n(self):
+        with pytest.raises(TopologyError):
+            random_regular_graph(4, 4)

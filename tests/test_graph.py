@@ -1,0 +1,123 @@
+"""Tests for the core graph structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, complete_graph_edges, graph_from_adjacency
+
+
+@pytest.fixture
+def square():
+    """A 4-cycle."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestConstruction:
+    def test_counts(self, square):
+        assert square.n == 4
+        assert square.edge_count == 4
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.edge_count == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            Graph(0)
+
+    def test_single_node(self):
+        graph = Graph(1)
+        assert graph.is_connected()
+        assert graph.edge_count == 0
+
+
+class TestAccessors:
+    def test_neighbors(self, square):
+        assert square.neighbors(0) == frozenset({1, 3})
+
+    def test_degree(self, square):
+        assert all(square.degree(v) == 2 for v in square.nodes())
+        assert square.min_degree() == 2
+
+    def test_has_edge(self, square):
+        assert square.has_edge(0, 1)
+        assert square.has_edge(1, 0)
+        assert not square.has_edge(0, 2)
+        assert not square.has_edge(0, 0)
+        assert not square.has_edge(0, 9)
+
+    def test_neighbors_out_of_range(self, square):
+        with pytest.raises(GraphError):
+            square.neighbors(7)
+
+    def test_equality_and_hash(self, square):
+        twin = Graph(4, [(3, 0), (2, 3), (1, 2), (0, 1)])
+        assert square == twin
+        assert hash(square) == hash(twin)
+        assert square != Graph(4, [(0, 1)])
+
+
+class TestDerivedGraphs:
+    def test_without_nodes_preserves_ids(self, square):
+        reduced = square.without_nodes({1})
+        assert reduced.n == 4
+        assert reduced.degree(1) == 0
+        assert reduced.has_edge(2, 3)
+        assert not reduced.has_edge(0, 1)
+
+    def test_induced(self, square):
+        sub = square.induced({0, 1, 2})
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(3, 0)
+
+    def test_with_edges(self, square):
+        augmented = square.with_edges([(0, 2)])
+        assert augmented.has_edge(0, 2)
+        assert square.edge_count == 4  # original untouched
+
+
+class TestTraversal:
+    def test_bfs_reachable_full(self, square):
+        assert square.bfs_reachable(0) == {0, 1, 2, 3}
+
+    def test_bfs_reachable_with_forbidden(self, square):
+        # Blocking both neighbors of 0 isolates it.
+        assert square.bfs_reachable(0, forbidden=frozenset({1, 3})) == {0}
+
+    def test_bfs_from_forbidden_source(self, square):
+        assert square.bfs_reachable(0, forbidden=frozenset({0})) == set()
+
+    def test_components_connected(self, square):
+        assert len(square.connected_components()) == 1
+
+    def test_components_disconnected(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        components = graph.connected_components()
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self, square):
+        assert square.is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+    def test_bfs_distances(self, square):
+        distances = square.bfs_distances(0)
+        assert distances == {0: 0, 1: 1, 3: 1, 2: 2}
+
+
+class TestHelpers:
+    def test_complete_graph_edges(self):
+        edges = complete_graph_edges(4)
+        assert len(edges) == 6
+
+    def test_graph_from_adjacency(self):
+        graph = graph_from_adjacency({0: [1, 2], 1: [2]}, 3)
+        assert graph.edge_count == 3

@@ -1,0 +1,167 @@
+"""End-to-end integration tests replaying the paper's key claims.
+
+Each test corresponds to a statement in the paper, named accordingly.
+"""
+
+import pytest
+
+from repro.adversary.behaviors import SilentNode, TwoFacedNectarNode
+from repro.experiments.accuracy import agreement_holds, success_rate
+from repro.experiments.runner import (
+    NodeSetup,
+    compute_ground_truth,
+    honest_nectar_factory,
+    run_trial,
+)
+from repro.experiments.scenarios import bridged_partition_scenario
+from repro.graphs.analysis import summarize
+from repro.graphs.generators.classic import star_graph
+from repro.graphs.generators.regular import harary_graph
+from repro.graphs.generators.drone import drone_graph
+from repro.types import Decision
+
+
+class TestFigure1Examples:
+    """Fig. 1: the 2-connected graph vs the star."""
+
+    def test_two_connected_graph_not_1_byzantine_partitionable(self):
+        graph = harary_graph(2, 8)  # a ring: κ = 2
+        for byzantine in range(8):
+            stripped = graph.without_nodes({byzantine})
+            remaining = [v for v in range(8) if v != byzantine]
+            reachable = stripped.bfs_reachable(
+                remaining[0], forbidden=frozenset({byzantine})
+            )
+            assert len(reachable) == 7  # correct nodes stay connected
+
+    def test_star_partitionable_only_from_center(self):
+        graph = star_graph(8)
+        center_cut = graph.without_nodes({0})
+        assert not center_cut.bfs_reachable(1, frozenset({0})) == set(range(1, 8))
+        leaf_cut = graph.without_nodes({3})
+        others = [v for v in range(8) if v != 3]
+        assert leaf_cut.bfs_reachable(others[0], frozenset({3})) == set(others)
+
+
+class TestLemma1:
+    """2t-connected graphs: all correct nodes decide NOT_PARTITIONABLE,
+    whatever the (model-compliant) Byzantine behaviour."""
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_silent_byzantine_cannot_prevent_detection(self, t):
+        graph = harary_graph(2 * t, 12)
+        byzantine = {v: (lambda setup: SilentNode(setup.node_id)) for v in range(t)}
+        result = run_trial(graph, t=t, byzantine_factories=byzantine)
+        for verdict in result.correct_verdicts.values():
+            assert verdict.decision is Decision.NOT_PARTITIONABLE
+            assert verdict.reachable == 12
+
+
+class TestLemma2And3:
+    """Agreement under the paper's own attack scenario."""
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_agreement_and_safety_in_bridged_scenario(self, t):
+        scenario = bridged_partition_scenario(17, t, seed=4)
+
+        def byz(setup: NodeSetup):
+            return TwoFacedNectarNode(
+                setup.node_id,
+                setup.n,
+                setup.t,
+                setup.key_store.key_pair_of(setup.node_id),
+                setup.scheme,
+                setup.key_store.directory,
+                setup.neighbor_proofs,
+                silent_towards=scenario.muted,
+            )
+
+        result = run_trial(
+            scenario.graph,
+            t=t,
+            byzantine_factories={b: byz for b in scenario.byzantine},
+        )
+        correct = result.correct_verdicts
+        assert agreement_holds(correct)
+        # Safety: the bridges are a vertex cut; nobody may say NOT_PART.
+        assert all(
+            verdict.decision is Decision.PARTITIONABLE
+            for verdict in correct.values()
+        )
+        assert success_rate(correct, result.ground_truth) == 1.0
+
+
+class TestConfirmedFlag:
+    """Sec. IV-C case analysis of the confirmed output."""
+
+    def test_case_2_2_muted_side_confirms_favored_side_does_not(self):
+        scenario = bridged_partition_scenario(17, 2, seed=0)
+
+        def byz(setup: NodeSetup):
+            return TwoFacedNectarNode(
+                setup.node_id,
+                setup.n,
+                setup.t,
+                setup.key_store.key_pair_of(setup.node_id),
+                setup.scheme,
+                setup.key_store.directory,
+                setup.neighbor_proofs,
+                silent_towards=scenario.muted,
+            )
+
+        result = run_trial(
+            scenario.graph,
+            t=2,
+            byzantine_factories={b: byz for b in scenario.byzantine},
+        )
+        # The favored side hears everything (r = n): confirmed = False.
+        for v in scenario.favored:
+            assert not result.verdicts[v].confirmed
+            assert result.verdicts[v].reachable == scenario.graph.n
+        # The muted side misses the other part: confirmed = True.
+        for v in scenario.muted:
+            assert result.verdicts[v].confirmed
+
+
+class TestDroneAnchors:
+    """Sec. V-B calibration anchors of the drone scenario."""
+
+    def test_d0_radius_24_is_complete_and_robust(self):
+        graph = drone_graph(20, 0.0, 2.4, seed=0)
+        summary = summarize(graph)
+        assert summary.connectivity == 19
+        result = run_trial(graph, t=3, with_ground_truth=False)
+        assert all(
+            v.decision is Decision.NOT_PARTITIONABLE
+            for v in result.verdicts.values()
+        )
+
+    def test_d6_is_partitioned_and_detected(self):
+        graph = drone_graph(20, 6.0, 2.4, seed=0)
+        truth = compute_ground_truth(graph, t=0, byzantine=frozenset())
+        assert truth.graph_partitioned
+        result = run_trial(graph, t=0, with_ground_truth=False)
+        assert all(
+            v.decision is Decision.PARTITIONABLE and v.confirmed
+            for v in result.verdicts.values()
+        )
+
+
+class TestValidationModesAgree:
+    """ACCOUNTING mode must not change honest-run outcomes or bytes."""
+
+    def test_verdicts_and_bytes_match(self):
+        from repro.core.validation import ValidationMode
+
+        graph = harary_graph(4, 10)
+        full = run_trial(graph, t=1, with_ground_truth=False)
+        fast = run_trial(
+            graph,
+            t=1,
+            validation_mode=ValidationMode.ACCOUNTING,
+            with_ground_truth=False,
+        )
+        assert {k: v.decision for k, v in full.verdicts.items()} == {
+            k: v.decision for k, v in fast.verdicts.items()
+        }
+        assert full.stats.bytes_sent == fast.stats.bytes_sent

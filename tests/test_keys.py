@@ -1,0 +1,60 @@
+"""Tests for key generation and distribution."""
+
+import pytest
+
+from repro.crypto.keys import KeyStore, build_keystore
+from repro.crypto.signer import HmacScheme
+from repro.errors import UnknownKeyError
+
+
+class TestKeyStore:
+    def test_builds_one_pair_per_node(self, keystore):
+        assert keystore.node_ids() == frozenset(range(10))
+        assert len(keystore.directory) == 10
+
+    def test_directory_matches_pairs(self, keystore):
+        for node in range(10):
+            pair = keystore.key_pair_of(node)
+            assert keystore.directory.public_key_of(node) == pair.public_key
+
+    def test_unknown_node_raises(self, keystore):
+        with pytest.raises(UnknownKeyError):
+            keystore.key_pair_of(99)
+
+    def test_same_seed_same_keys(self):
+        scheme_a, scheme_b = HmacScheme(), HmacScheme()
+        store_a = build_keystore(scheme_a, 4, seed=11)
+        store_b = build_keystore(scheme_b, 4, seed=11)
+        for node in range(4):
+            assert (
+                store_a.directory.public_key_of(node)
+                == store_b.directory.public_key_of(node)
+            )
+
+    def test_different_seed_different_keys(self):
+        scheme = HmacScheme()
+        store_a = KeyStore(scheme, range(4), seed=1)
+        store_b = KeyStore(scheme, range(4), seed=2)
+        assert (
+            store_a.directory.public_key_of(0)
+            != store_b.directory.public_key_of(0)
+        )
+
+    def test_duplicate_ids_collapse(self, scheme):
+        store = KeyStore(scheme, [1, 1, 2], seed=0)
+        assert store.node_ids() == frozenset({1, 2})
+
+    def test_rejects_empty_deployment(self, scheme):
+        with pytest.raises(ValueError):
+            build_keystore(scheme, 0)
+
+    def test_rejects_out_of_range_ids(self, scheme):
+        with pytest.raises(ValueError):
+            KeyStore(scheme, [0, 1 << 20], seed=0)
+
+    def test_keys_usable_for_signing(self, keystore, scheme):
+        pair = keystore.key_pair_of(4)
+        signature = scheme.sign(pair, b"payload")
+        assert scheme.verify(
+            keystore.directory.public_key_of(4), b"payload", signature
+        )

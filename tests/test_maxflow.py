@@ -1,0 +1,81 @@
+"""Tests for the Dinic max-flow engine."""
+
+import pytest
+
+from repro.graphs.maxflow import INFINITY, FlowNetwork
+
+
+class TestBasics:
+    def test_single_edge(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 5)
+        assert network.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 5)
+        network.add_edge(1, 2, 3)
+        assert network.max_flow(0, 2) == 3
+
+    def test_parallel_paths_add_up(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 2)
+        network.add_edge(1, 3, 2)
+        network.add_edge(0, 2, 3)
+        network.add_edge(2, 3, 3)
+        assert network.max_flow(0, 3) == 5
+
+    def test_no_path_gives_zero(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 4)
+        assert network.max_flow(0, 2) == 0
+
+    def test_classic_cross_network(self):
+        """The textbook example where a cross edge enables reflow."""
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        network.add_edge(0, 2, 1)
+        network.add_edge(1, 2, 1)
+        network.add_edge(1, 3, 1)
+        network.add_edge(2, 3, 1)
+        assert network.max_flow(0, 3) == 2
+
+    def test_cutoff_truncates(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 100)
+        assert network.max_flow(0, 1, cutoff=7) == 7
+
+    def test_same_source_sink_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            network.max_flow(1, 1)
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            network.add_edge(0, 1, -1)
+
+    def test_vertex_out_of_range_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            network.add_edge(0, 2, 1)
+
+
+class TestResidualReachability:
+    def test_min_cut_boundary(self):
+        # 0 -> 1 -> 2 with bottleneck on (1, 2).
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 5)
+        network.add_edge(1, 2, 1)
+        assert network.max_flow(0, 2) == 1
+        reachable = network.residual_reachable(0)
+        assert 0 in reachable
+        assert 1 in reachable  # (0,1) not saturated
+        assert 2 not in reachable  # behind the saturated bottleneck
+
+    def test_infinity_edges_never_cut(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, INFINITY)
+        network.add_edge(1, 2, 2)
+        assert network.max_flow(0, 2) == 2
+        assert network.residual_reachable(0) == {0, 1}

@@ -1,0 +1,50 @@
+"""Tests for the envelope/payload layer (repro.net.message)."""
+
+from repro.baselines.mtg import BloomPayload
+from repro.core.messages import NectarBatch
+from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE
+from repro.net.message import Envelope, Outgoing, Payload, RawPayload
+
+
+class TestEnvelope:
+    def test_wire_size_adds_header(self):
+        envelope = Envelope(sender=1, round_number=2, payload=RawPayload(b"abc"))
+        assert (
+            envelope.wire_size(DEFAULT_PROFILE)
+            == DEFAULT_PROFILE.envelope_header_bytes + 3
+        )
+
+    def test_wire_size_profile_dependent(self):
+        batch = NectarBatch(announcements=())
+        envelope = Envelope(sender=0, round_number=1, payload=batch)
+        assert envelope.wire_size(DEFAULT_PROFILE) == envelope.wire_size(
+            COMPACT_PROFILE
+        )  # empty batch: no signatures involved
+
+    def test_is_frozen(self):
+        envelope = Envelope(sender=1, round_number=2, payload=RawPayload(b""))
+        try:
+            envelope.sender = 9
+        except AttributeError:
+            return
+        raise AssertionError("Envelope must be immutable")
+
+
+class TestPayloadProtocol:
+    def test_known_payloads_satisfy_protocol(self):
+        assert isinstance(RawPayload(b"x"), Payload)
+        assert isinstance(NectarBatch(announcements=()), Payload)
+        assert isinstance(
+            BloomPayload(bit_count=8, hash_count=1, bits=b"\x00"), Payload
+        )
+
+    def test_raw_payload_size_is_length(self):
+        assert RawPayload(b"12345").encoded_size(DEFAULT_PROFILE) == 5
+        assert RawPayload(b"").encoded_size(DEFAULT_PROFILE) == 0
+
+
+class TestOutgoing:
+    def test_fields(self):
+        out = Outgoing(destination=7, payload=RawPayload(b"z"))
+        assert out.destination == 7
+        assert out.payload.data == b"z"

@@ -1,0 +1,82 @@
+"""Tests for the continuous partition monitor."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.extensions.monitor import (
+    MonitorReport,
+    PartitionMonitor,
+    first_escalation,
+)
+from repro.graphs.generators.drone import drone_graph
+from repro.graphs.generators.classic import cycle_graph
+from repro.types import Decision
+
+
+def drifting_fleet(n=12, radius=1.8, steps=(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)):
+    """The Fig. 2 mission: scatters drifting apart step by step."""
+    return [drone_graph(n, d, radius, seed=11) for d in steps]
+
+
+class TestPartitionMonitor:
+    def test_first_epoch_never_reports_change(self):
+        monitor = PartitionMonitor(t=1)
+        report = monitor.observe(cycle_graph(6))
+        assert report.epoch == 0
+        assert not report.changed
+        assert not report.escalated
+
+    def test_stable_topology_stays_quiet(self):
+        monitor = PartitionMonitor(t=1)
+        graph = cycle_graph(6)
+        monitor.observe(graph)
+        second = monitor.observe(graph)
+        assert not second.changed
+        assert not second.escalated
+
+    def test_mission_escalates_before_the_split(self):
+        """The decision flips to PARTITIONABLE before confirmed=True."""
+        monitor = PartitionMonitor(t=2)
+        reports = list(monitor.watch(drifting_fleet()))
+        assert reports[0].verdict.decision is Decision.NOT_PARTITIONABLE
+        final = reports[-1]
+        assert final.verdict.decision is Decision.PARTITIONABLE
+        assert final.verdict.confirmed
+        warn_epoch = next(
+            r.epoch
+            for r in reports
+            if r.verdict.decision is Decision.PARTITIONABLE
+        )
+        confirm_epoch = next(r.epoch for r in reports if r.verdict.confirmed)
+        assert warn_epoch < confirm_epoch  # early warning, then the split
+
+    def test_escalation_flags_transitions_only(self):
+        monitor = PartitionMonitor(t=2)
+        reports = list(monitor.watch(drifting_fleet()))
+        escalations = [r for r in reports if r.escalated]
+        # Two level changes: safe -> partitionable -> confirmed.
+        assert len(escalations) == 2
+        assert all(r.changed for r in escalations)
+
+    def test_first_escalation_helper(self):
+        monitor = PartitionMonitor(t=2)
+        report = first_escalation(monitor, drifting_fleet())
+        assert isinstance(report, MonitorReport)
+        assert report.escalated
+
+    def test_no_escalation_returns_none(self):
+        monitor = PartitionMonitor(t=1)
+        assert first_escalation(monitor, [cycle_graph(6)] * 3) is None
+
+    def test_epochs_counted(self):
+        monitor = PartitionMonitor(t=1)
+        list(monitor.watch([cycle_graph(6)] * 4))
+        assert monitor.epochs_observed == 4
+
+    def test_cost_reported(self):
+        monitor = PartitionMonitor(t=1)
+        assert monitor.observe(cycle_graph(6)).mean_kb_sent > 0
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ExperimentError):
+            PartitionMonitor(t=-1)

@@ -1,0 +1,109 @@
+"""Tests for the MindTheGap baseline."""
+
+import pytest
+
+from repro.adversary.behaviors import SaturatingMtgNode
+from repro.baselines.mtg import BloomPayload, MtgNode, mtg_epoch_count
+from repro.errors import ProtocolError
+from repro.experiments.runner import (
+    NodeSetup,
+    honest_mtg_factory,
+    run_trial,
+)
+from repro.graphs.generators.classic import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.net.message import RawPayload
+from repro.types import BaselineDecision
+
+
+def run_mtg(graph, byzantine_factories=None, t=0):
+    return run_trial(
+        graph,
+        t=t,
+        byzantine_factories=byzantine_factories,
+        honest_factory=honest_mtg_factory,
+        rounds=mtg_epoch_count(graph.n),
+        with_ground_truth=False,
+    )
+
+
+class TestHonestRuns:
+    def test_connected_graph_decides_connected(self):
+        result = run_mtg(cycle_graph(8))
+        assert set(result.verdicts.values()) == {BaselineDecision.CONNECTED}
+
+    def test_partitioned_graph_decides_partitioned(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = run_mtg(graph)
+        assert set(result.verdicts.values()) == {BaselineDecision.PARTITIONED}
+
+    def test_path_converges_in_n_minus_1_epochs(self):
+        result = run_mtg(path_graph(7))
+        assert set(result.verdicts.values()) == {BaselineDecision.CONNECTED}
+
+    def test_gossip_goes_quiet_after_convergence(self):
+        """Change-driven gossip: no sends once filters stabilise."""
+        graph = cycle_graph(4)
+        node = MtgNode(0, 4, graph.neighbors(0))
+        first = node.begin_round(1)
+        assert len(first) == 2
+        silent = node.begin_round(2)  # nothing received, filter unchanged
+        assert silent == []
+
+    def test_received_filter_changes_trigger_resend(self):
+        graph = cycle_graph(4)
+        node = MtgNode(0, 4, graph.neighbors(0))
+        other = MtgNode(1, 4, graph.neighbors(1))
+        node.begin_round(1)
+        payload = other.begin_round(1)[0].payload
+        node.deliver(1, 1, payload)
+        assert len(node.begin_round(2)) == 2
+
+
+class TestRobustnessOfParsing:
+    def test_ignores_junk(self):
+        node = MtgNode(0, 4, {1})
+        node.deliver(1, 1, RawPayload(b"xx"))
+        assert node.conclude() is BaselineDecision.PARTITIONED
+
+    def test_ignores_wrong_geometry(self):
+        node = MtgNode(0, 4, {1})
+        node.deliver(1, 1, BloomPayload(bit_count=8, hash_count=1, bits=b"\xff"))
+        # The saturated-but-wrong-geometry filter must not poison us.
+        assert node.conclude() is BaselineDecision.PARTITIONED
+
+    def test_conclude_is_one_shot(self):
+        node = MtgNode(0, 4, {1})
+        node.conclude()
+        with pytest.raises(ProtocolError):
+            node.conclude()
+
+    def test_rejects_self_neighbor(self):
+        with pytest.raises(ProtocolError):
+            MtgNode(0, 4, {0, 1})
+
+
+class TestSaturationAttack:
+    def test_single_byzantine_poisons_its_part(self):
+        """Sec. V-D: saturated filters flip a partitioned verdict."""
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+
+        def byz(setup: NodeSetup):
+            return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
+
+        result = run_mtg(graph, byzantine_factories={1: byz}, t=1)
+        # Nodes 0 and 2 (poisoned part) now believe everyone reachable.
+        assert result.verdicts[0] is BaselineDecision.CONNECTED
+        assert result.verdicts[2] is BaselineDecision.CONNECTED
+        # The other part still detects the partition: agreement broken.
+        assert result.verdicts[3] is BaselineDecision.PARTITIONED
+
+    def test_two_byzantine_break_all_correct_nodes(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+
+        def byz(setup: NodeSetup):
+            return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
+
+        result = run_mtg(graph, byzantine_factories={1: byz, 4: byz}, t=2)
+        correct = result.correct_verdicts
+        assert set(correct.values()) == {BaselineDecision.CONNECTED}

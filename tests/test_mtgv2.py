@@ -1,0 +1,157 @@
+"""Tests for the MtGv2 baseline (signed-ID gossip)."""
+
+import pytest
+
+from repro.adversary.behaviors import TwoFacedMtgv2Node
+from repro.baselines.mtgv2 import (
+    Mtgv2Node,
+    SignedId,
+    SignedIdsPayload,
+    mtgv2_epoch_count,
+    signed_id_message,
+)
+from repro.errors import ProtocolError
+from repro.experiments.runner import (
+    NodeSetup,
+    build_deployment,
+    honest_mtgv2_factory,
+    run_trial,
+)
+from repro.graphs.generators.classic import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.net.message import RawPayload
+from repro.types import BaselineDecision
+
+
+def run_mtgv2(graph, byzantine_factories=None, t=0):
+    return run_trial(
+        graph,
+        t=t,
+        byzantine_factories=byzantine_factories,
+        honest_factory=honest_mtgv2_factory,
+        rounds=mtgv2_epoch_count(graph.n),
+        with_ground_truth=False,
+    )
+
+
+def make_node(deployment, node_id):
+    graph = deployment.graph
+    return Mtgv2Node(
+        node_id=node_id,
+        n=graph.n,
+        neighbors=graph.neighbors(node_id),
+        key_pair=deployment.key_store.key_pair_of(node_id),
+        scheme=deployment.scheme,
+        directory=deployment.key_store.directory,
+    )
+
+
+class TestHonestRuns:
+    def test_connected_decides_connected(self):
+        result = run_mtgv2(cycle_graph(7))
+        assert set(result.verdicts.values()) == {BaselineDecision.CONNECTED}
+
+    def test_partitioned_decides_partitioned(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = run_mtgv2(graph)
+        assert set(result.verdicts.values()) == {BaselineDecision.PARTITIONED}
+
+    def test_worst_case_path(self):
+        result = run_mtgv2(path_graph(6))
+        assert set(result.verdicts.values()) == {BaselineDecision.CONNECTED}
+
+    def test_each_signed_id_sent_once_per_neighbor(self):
+        """The paper's cost-minimisation rule."""
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        first = node.begin_round(1)
+        assert {out.destination for out in first} == {1, 3}
+        assert all(len(out.payload.entries) == 1 for out in first)
+        assert node.begin_round(2) == []  # nothing new: silent
+
+    def test_forward_excludes_source(self):
+        deployment = build_deployment(path_graph(3))
+        middle = make_node(deployment, 1)
+        middle.begin_round(1)
+        left = make_node(deployment, 0)
+        payload = left.begin_round(1)[0].payload
+        middle.deliver(1, 0, payload)
+        sends = middle.begin_round(2)
+        assert {out.destination for out in sends} == {2}
+
+
+class TestSignatureEnforcement:
+    def test_fabricated_id_rejected(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        fake = SignedId(node_id=2, signature=bytes(deployment.scheme.signature_size))
+        node.deliver(1, 1, SignedIdsPayload(entries=(fake,)))
+        assert 2 not in node.known_ids
+
+    def test_id_signed_by_wrong_key_rejected(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        wrong_key = deployment.key_store.key_pair_of(3)
+        forged = SignedId(
+            node_id=2,
+            signature=deployment.scheme.sign(wrong_key, signed_id_message(2)),
+        )
+        node.deliver(1, 1, SignedIdsPayload(entries=(forged,)))
+        assert 2 not in node.known_ids
+
+    def test_valid_id_accepted(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        key2 = deployment.key_store.key_pair_of(2)
+        valid = SignedId(
+            node_id=2, signature=deployment.scheme.sign(key2, signed_id_message(2))
+        )
+        node.deliver(1, 1, SignedIdsPayload(entries=(valid,)))
+        assert 2 in node.known_ids
+
+    def test_out_of_range_id_rejected(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        junk = SignedId(node_id=4000, signature=bytes(64))
+        node.deliver(1, 1, SignedIdsPayload(entries=(junk,)))
+        assert node.known_ids == frozenset({0})
+
+    def test_ignores_junk_payload(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        node.deliver(1, 1, RawPayload(b"zz"))
+        assert node.known_ids == frozenset({0})
+
+    def test_conclude_one_shot(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = make_node(deployment, 0)
+        node.conclude()
+        with pytest.raises(ProtocolError):
+            node.conclude()
+
+
+class TestTwoFacedAttack:
+    def test_breaks_agreement_not_safety(self):
+        """Sec. V-D: half conclude connected, half partitioned."""
+        # Correct parts {0,1} and {3,4}; node 2 bridges them.
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+        def byz(setup: NodeSetup):
+            return TwoFacedMtgv2Node(
+                setup.node_id,
+                setup.n,
+                setup.neighbors,
+                setup.key_store.key_pair_of(setup.node_id),
+                setup.scheme,
+                setup.key_store.directory,
+                silent_towards=frozenset({3, 4}),
+            )
+
+        result = run_mtgv2(graph, byzantine_factories={2: byz}, t=1)
+        # The favored side learns everyone (including the muted side,
+        # relayed by the Byzantine node) and concludes CONNECTED.
+        assert result.verdicts[0] is BaselineDecision.CONNECTED
+        assert result.verdicts[1] is BaselineDecision.CONNECTED
+        # The muted side misses ids and concludes PARTITIONED.
+        assert result.verdicts[3] is BaselineDecision.PARTITIONED
+        assert result.verdicts[4] is BaselineDecision.PARTITIONED

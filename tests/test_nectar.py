@@ -1,0 +1,199 @@
+"""Unit tests for the NECTAR protocol node (Algorithm 1)."""
+
+import pytest
+
+from repro.core.messages import NectarBatch
+from repro.core.nectar import NectarNode, nectar_round_count
+from repro.errors import ProtocolError
+from repro.experiments.runner import build_deployment, run_trial
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.graphs.graph import Graph
+from repro.net.message import RawPayload
+from repro.net.simulator import SyncNetwork
+from repro.types import Decision
+
+
+def build_node(deployment, node_id, t=1, **kwargs):
+    return NectarNode(
+        node_id=node_id,
+        n=deployment.graph.n,
+        t=t,
+        key_pair=deployment.key_store.key_pair_of(node_id),
+        scheme=deployment.scheme,
+        directory=deployment.key_store.directory,
+        neighbor_proofs=deployment.proofs_of(node_id),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_initial_view_is_own_neighborhood(self):
+        deployment = build_deployment(cycle_graph(5))
+        node = build_node(deployment, 0)
+        assert node.discovered.knows(0, 1)
+        assert node.discovered.knows(0, 4)
+        assert node.discovered.edge_count() == 2
+        assert node.neighbors == frozenset({1, 4})
+
+    def test_rejects_foreign_key_pair(self):
+        deployment = build_deployment(cycle_graph(5))
+        with pytest.raises(ProtocolError):
+            NectarNode(
+                node_id=0,
+                n=5,
+                t=1,
+                key_pair=deployment.key_store.key_pair_of(1),
+                scheme=deployment.scheme,
+                directory=deployment.key_store.directory,
+                neighbor_proofs=deployment.proofs_of(0),
+            )
+
+    def test_rejects_negative_t(self):
+        deployment = build_deployment(cycle_graph(5))
+        with pytest.raises(ProtocolError):
+            build_node(deployment, 0, t=-1)
+
+    def test_rejects_mismatched_proofs(self):
+        deployment = build_deployment(cycle_graph(5))
+        with pytest.raises(ProtocolError):
+            NectarNode(
+                node_id=0,
+                n=5,
+                t=1,
+                key_pair=deployment.key_store.key_pair_of(0),
+                scheme=deployment.scheme,
+                directory=deployment.key_store.directory,
+                neighbor_proofs={2: deployment.proofs_of(1)[2]},
+            )
+
+
+class TestRoundBehaviour:
+    def test_round_one_announces_neighborhood_to_all_neighbors(self):
+        deployment = build_deployment(cycle_graph(5))
+        node = build_node(deployment, 0)
+        sends = node.begin_round(1)
+        assert {out.destination for out in sends} == {1, 4}
+        for out in sends:
+            assert isinstance(out.payload, NectarBatch)
+            assert len(out.payload) == 2  # both own edges
+            assert all(len(a.chain) == 1 for a in out.payload.announcements)
+
+    def test_relay_excludes_source(self):
+        # 3 - 0 - 1 - 2: node 0 knows edge (0, 3), new to node 1.
+        graph = Graph(4, [(0, 1), (1, 2), (0, 3)])
+        deployment = build_deployment(graph)
+        middle = build_node(deployment, 1)
+        middle.begin_round(1)
+        edge_batch = next(
+            out.payload
+            for out in build_node(deployment, 0).begin_round(1)
+            if out.destination == 1
+        )
+        middle.deliver(1, 0, edge_batch)
+        sends = middle.begin_round(2)
+        # The new edge (0, 3) came from 0; it must go to 2 only.
+        assert {out.destination for out in sends} == {2}
+        relayed = sends[0].payload.announcements
+        assert [a.proof.edge for a in relayed] == [(0, 3)]
+        assert all(len(a.chain) == 2 for a in relayed)
+        assert all(a.chain[-1].signer == 1 for a in relayed)
+
+    def test_duplicate_announcements_not_relayed(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = build_node(deployment, 1)
+        node.begin_round(1)
+        batch = build_node(deployment, 0).begin_round(1)[0].payload
+        node.deliver(1, 0, batch)
+        node.deliver(1, 0, batch)  # duplicate delivery
+        sends = node.begin_round(2)
+        relayed = sum(len(out.payload) for out in sends)
+        # One new edge (0,3) — edge (0,1) was already known.
+        assert relayed == len([out.destination for out in sends])
+
+    def test_junk_payload_ignored(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = build_node(deployment, 0)
+        node.begin_round(1)
+        node.deliver(1, 1, RawPayload(b"\xde\xad"))
+        assert node.discovered.edge_count() == 2  # unchanged
+        assert node.begin_round(2) == []
+
+    def test_conclude_is_one_shot(self):
+        deployment = build_deployment(cycle_graph(4))
+        node = build_node(deployment, 0)
+        node.conclude()
+        with pytest.raises(ProtocolError):
+            node.conclude()
+
+
+class TestEndToEnd:
+    def test_cycle_all_discover_everything(self):
+        graph = cycle_graph(6)
+        result = run_trial(graph, t=1, with_ground_truth=False)
+        for verdict in result.verdicts.values():
+            assert verdict.reachable == 6
+
+    def test_cycle_decision_values(self):
+        # κ = 2 > t = 1: NOT_PARTITIONABLE everywhere.
+        graph = cycle_graph(6)
+        result = run_trial(graph, t=1, with_ground_truth=False)
+        decisions = {v.decision for v in result.verdicts.values()}
+        assert decisions == {Decision.NOT_PARTITIONABLE}
+
+    def test_star_is_partitionable_for_t1(self):
+        graph = star_graph(6)
+        result = run_trial(graph, t=1, with_ground_truth=False)
+        decisions = {v.decision for v in result.verdicts.values()}
+        assert decisions == {Decision.PARTITIONABLE}
+        assert all(not v.confirmed for v in result.verdicts.values())
+
+    def test_partitioned_graph_confirmed(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = run_trial(graph, t=1, with_ground_truth=False)
+        for verdict in result.verdicts.values():
+            assert verdict.decision is Decision.PARTITIONABLE
+            assert verdict.confirmed
+            assert verdict.reachable == 3
+
+    def test_complete_graph_with_t2(self):
+        graph = complete_graph(7)  # κ = 6 >= 2t = 4
+        result = run_trial(graph, t=2, with_ground_truth=False)
+        decisions = {v.decision for v in result.verdicts.values()}
+        assert decisions == {Decision.NOT_PARTITIONABLE}
+
+    def test_bridge_graph_connectivity_detected(self):
+        graph = two_cliques_bridge(4, bridges=2)  # κ = 2
+        result = run_trial(graph, t=2, with_ground_truth=False)
+        for verdict in result.verdicts.values():
+            assert verdict.decision is Decision.PARTITIONABLE
+            assert verdict.connectivity == 2
+
+    def test_all_views_identical_after_n_minus_1_rounds(self):
+        """Eq. 4 of Lemma 2 for an all-correct run."""
+        graph = two_cliques_bridge(4, bridges=1)
+        deployment = build_deployment(graph)
+        protocols = {v: build_node(deployment, v) for v in graph.nodes()}
+        network = SyncNetwork(graph, protocols)
+        network.run(nectar_round_count(graph.n))
+        views = {p.discovered.edges() for p in protocols.values()}
+        assert len(views) == 1
+        assert views.pop() == graph.edges()
+
+
+class TestRoundCount:
+    def test_n_minus_one(self):
+        assert nectar_round_count(10) == 9
+
+    def test_minimum_one_round(self):
+        assert nectar_round_count(2) == 1
+        assert nectar_round_count(1) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            nectar_round_count(0)

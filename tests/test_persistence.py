@@ -1,0 +1,70 @@
+"""Tests for figure serialisation (JSON round trip, CSV export)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.persistence import (
+    dump_figure_csv,
+    dump_figure_json,
+    figure_from_dict,
+    figure_to_dict,
+    load_figure_json,
+)
+from repro.experiments.report import FigureData
+
+
+@pytest.fixture
+def figure():
+    fig = FigureData("figX", "demo figure", "n", "KB")
+    fig.series_named("A").add(10, [1.0, 2.0, 3.0])
+    fig.series_named("A").add(20, [4.0])
+    fig.series_named("B").add(10, [5.5])
+    fig.notes.append("a note")
+    return fig
+
+
+class TestJsonRoundtrip:
+    def test_lossless(self, figure):
+        rebuilt = load_figure_json(dump_figure_json(figure))
+        assert rebuilt.figure_id == figure.figure_id
+        assert rebuilt.title == figure.title
+        assert rebuilt.notes == figure.notes
+        assert len(rebuilt.series) == len(figure.series)
+        for original, restored in zip(figure.series, rebuilt.series):
+            assert original.name == restored.name
+            assert original.points == restored.points
+
+    def test_render_identical_after_roundtrip(self, figure):
+        rebuilt = load_figure_json(dump_figure_json(figure))
+        assert rebuilt.render() == figure.render()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ExperimentError):
+            load_figure_json("{not json")
+
+    def test_wrong_schema_rejected(self, figure):
+        payload = figure_to_dict(figure)
+        payload["schema"] = 99
+        with pytest.raises(ExperimentError):
+            figure_from_dict(payload)
+
+    def test_missing_field_rejected(self, figure):
+        payload = figure_to_dict(figure)
+        del payload["series"]
+        with pytest.raises(ExperimentError):
+            figure_from_dict(payload)
+
+
+class TestCsv:
+    def test_one_row_per_point(self, figure):
+        text = dump_figure_csv(figure)
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + 3  # header + three points
+        assert lines[0].startswith("figure_id,series,x,mean")
+        assert any(line.startswith("figX,A,10") for line in lines[1:])
+
+    def test_empty_figure(self):
+        text = dump_figure_csv(FigureData("f", "t", "x", "y"))
+        assert text.strip().splitlines() == [
+            "figure_id,series,x,mean,ci_half_width,trials"
+        ]

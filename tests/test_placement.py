@@ -1,0 +1,86 @@
+"""Tests for Byzantine placement strategies."""
+
+import pytest
+
+from repro.adversary.placement import (
+    balanced_placement,
+    random_placement,
+    vertex_cut_placement,
+)
+from repro.errors import ExperimentError
+from repro.graphs.connectivity import is_vertex_cut
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+
+
+class TestRandomPlacement:
+    def test_size_and_range(self):
+        graph = cycle_graph(10)
+        placement = random_placement(graph, 3, seed=1)
+        assert len(placement) == 3
+        assert placement <= set(graph.nodes())
+
+    def test_deterministic(self):
+        graph = cycle_graph(10)
+        assert random_placement(graph, 3, seed=5) == random_placement(graph, 3, seed=5)
+
+    def test_respects_forbidden(self):
+        graph = cycle_graph(6)
+        placement = random_placement(graph, 3, seed=0, forbidden=[0, 1, 2])
+        assert placement == frozenset({3, 4, 5})
+
+    def test_too_many_rejected(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ExperimentError):
+            random_placement(graph, 5)
+
+
+class TestBalancedPlacement:
+    def test_even_split(self):
+        placement = balanced_placement([[0, 1, 2], [3, 4, 5]], 4, seed=2)
+        left = placement & {0, 1, 2}
+        right = placement & {3, 4, 5}
+        assert len(left) == 2 and len(right) == 2
+
+    def test_odd_count(self):
+        placement = balanced_placement([[0, 1, 2], [3, 4, 5]], 3, seed=2)
+        sizes = sorted((len(placement & {0, 1, 2}), len(placement & {3, 4, 5})))
+        assert sizes == [1, 2]
+
+    def test_skips_exhausted_group(self):
+        placement = balanced_placement([[0], [1, 2, 3]], 3, seed=0)
+        assert 0 in placement
+        assert len(placement) == 3
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ExperimentError):
+            balanced_placement([[0], [1]], 3)
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ExperimentError):
+            balanced_placement([], 1)
+
+
+class TestVertexCutPlacement:
+    def test_star_center(self):
+        placement = vertex_cut_placement(star_graph(6), t=1)
+        assert placement == frozenset({0})
+
+    def test_bridge_graph(self):
+        graph = two_cliques_bridge(4, bridges=2)
+        placement = vertex_cut_placement(graph, t=2)
+        assert len(placement) == 2
+        assert is_vertex_cut(graph, placement)
+
+    def test_budget_too_small_rejected(self):
+        graph = two_cliques_bridge(4, bridges=3)
+        with pytest.raises(ExperimentError):
+            vertex_cut_placement(graph, t=2)
+
+    def test_complete_graph_rejected(self):
+        with pytest.raises(ExperimentError):
+            vertex_cut_placement(complete_graph(5), t=4)

@@ -1,0 +1,118 @@
+"""Tests for proofs of neighborhood."""
+
+import pytest
+
+from repro.crypto.proofs import (
+    NeighborhoodProof,
+    make_proof,
+    proof_bytes,
+    proof_message,
+    verify_proof,
+)
+
+
+@pytest.fixture
+def proof(scheme, keystore):
+    return make_proof(scheme, keystore.key_pair_of(2), keystore.key_pair_of(5))
+
+
+class TestMakeProof:
+    def test_edge_is_canonical(self, scheme, keystore):
+        forward = make_proof(scheme, keystore.key_pair_of(5), keystore.key_pair_of(2))
+        assert forward.edge == (2, 5)
+
+    def test_endpoints(self, proof):
+        assert proof.endpoints() == frozenset({2, 5})
+        assert proof.lo == 2
+        assert proof.hi == 5
+
+    def test_rejects_self_edge(self, scheme, keystore):
+        with pytest.raises(ValueError):
+            make_proof(scheme, keystore.key_pair_of(2), keystore.key_pair_of(2))
+
+
+class TestVerifyProof:
+    def test_valid_proof_verifies(self, scheme, keystore, proof):
+        assert verify_proof(scheme, keystore.directory, proof)
+
+    def test_tampered_lo_signature_fails(self, scheme, keystore, proof):
+        bad = NeighborhoodProof(
+            edge=proof.edge,
+            signature_lo=bytes(scheme.signature_size),
+            signature_hi=proof.signature_hi,
+        )
+        assert not verify_proof(scheme, keystore.directory, bad)
+
+    def test_tampered_hi_signature_fails(self, scheme, keystore, proof):
+        bad = NeighborhoodProof(
+            edge=proof.edge,
+            signature_lo=proof.signature_lo,
+            signature_hi=bytes(scheme.signature_size),
+        )
+        assert not verify_proof(scheme, keystore.directory, bad)
+
+    def test_relabelled_edge_fails(self, scheme, keystore, proof):
+        """Signatures do not transfer to a different edge."""
+        bad = NeighborhoodProof(
+            edge=(2, 6),
+            signature_lo=proof.signature_lo,
+            signature_hi=proof.signature_hi,
+        )
+        assert not verify_proof(scheme, keystore.directory, bad)
+
+    def test_unknown_endpoint_fails(self, scheme, keystore, proof):
+        bad = NeighborhoodProof(
+            edge=(2, 5000),
+            signature_lo=proof.signature_lo,
+            signature_hi=proof.signature_hi,
+        )
+        assert not verify_proof(scheme, keystore.directory, bad)
+
+    def test_degenerate_edge_fails(self, scheme, keystore, proof):
+        bad = NeighborhoodProof(
+            edge=(2, 2),
+            signature_lo=proof.signature_lo,
+            signature_hi=proof.signature_hi,
+        )
+        assert not verify_proof(scheme, keystore.directory, bad)
+
+    def test_single_byzantine_cannot_forge_with_correct_node(self, scheme, keystore):
+        """The model's forgeability boundary: one key is not enough.
+
+        Byzantine node 2 signs both slots with its own key, claiming an
+        edge with correct node 5.
+        """
+        byzantine = keystore.key_pair_of(2)
+        message = proof_message(2, 5)
+        forged = NeighborhoodProof(
+            edge=(2, 5),
+            signature_lo=scheme.sign(byzantine, message),
+            signature_hi=scheme.sign(byzantine, message),
+        )
+        assert not verify_proof(scheme, keystore.directory, forged)
+
+    def test_byzantine_pair_can_mint_fictitious_edge(self, scheme, keystore):
+        """Two colluding nodes CAN mint a proof — allowed by the model."""
+        fake = make_proof(scheme, keystore.key_pair_of(1), keystore.key_pair_of(8))
+        assert verify_proof(scheme, keystore.directory, fake)
+
+
+class TestProofBytes:
+    def test_deterministic(self, proof):
+        assert proof_bytes(proof) == proof_bytes(proof)
+
+    def test_length(self, scheme, proof):
+        assert len(proof_bytes(proof)) == 4 + 2 * scheme.signature_size
+
+    def test_distinct_edges_distinct_bytes(self, scheme, keystore, proof):
+        other = make_proof(scheme, keystore.key_pair_of(2), keystore.key_pair_of(6))
+        assert proof_bytes(proof) != proof_bytes(other)
+
+
+class TestProofMessage:
+    def test_symmetric(self):
+        assert proof_message(4, 9) == proof_message(9, 4)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            proof_message(4, 4)

@@ -1,0 +1,76 @@
+"""Tests for aggregation, confidence intervals and table rendering."""
+
+import pytest
+
+from repro.experiments.report import FigureData, Point, Series, aggregate
+
+
+class TestAggregate:
+    def test_single_sample_has_zero_ci(self):
+        point = aggregate(1.0, [4.2])
+        assert point.mean == pytest.approx(4.2)
+        assert point.ci_half_width == 0.0
+        assert point.trials == 1
+
+    def test_constant_samples_have_zero_ci(self):
+        point = aggregate(1.0, [2.0, 2.0, 2.0])
+        assert point.ci_half_width == 0.0
+
+    def test_mean_and_ci(self):
+        point = aggregate(0.0, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert point.mean == pytest.approx(3.0)
+        # 95% CI for this sample: mean ± t * s/sqrt(n) ≈ 3 ± 1.963
+        assert point.ci_half_width == pytest.approx(1.9635, rel=1e-3)
+        assert point.ci_low == pytest.approx(3.0 - point.ci_half_width)
+        assert point.ci_high == pytest.approx(3.0 + point.ci_half_width)
+
+    def test_wider_confidence_wider_interval(self):
+        tight = aggregate(0.0, [1.0, 2.0, 3.0], confidence=0.90)
+        wide = aggregate(0.0, [1.0, 2.0, 3.0], confidence=0.99)
+        assert wide.ci_half_width > tight.ci_half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(0.0, [])
+
+
+class TestSeries:
+    def test_add_appends_point(self):
+        series = Series(name="s")
+        point = series.add(2.0, [1.0, 3.0])
+        assert series.points == [point]
+        assert point.x == 2.0
+
+
+class TestFigureData:
+    def test_series_named_creates_once(self):
+        figure = FigureData("f", "title", "x", "y")
+        a = figure.series_named("curve")
+        b = figure.series_named("curve")
+        assert a is b
+        assert len(figure.series) == 1
+
+    def test_render_contains_all_cells(self):
+        figure = FigureData("fig9", "demo", "n", "KB")
+        figure.series_named("A").add(10, [1.0])
+        figure.series_named("A").add(20, [2.0, 4.0])
+        figure.series_named("B").add(10, [5.0])
+        figure.notes.append("a remark")
+        text = figure.render()
+        assert "fig9" in text
+        assert "A" in text and "B" in text
+        assert "10" in text and "20" in text
+        assert "±" in text  # the two-sample cell has a CI
+        assert "a remark" in text
+
+    def test_render_marks_missing_cells(self):
+        figure = FigureData("f", "t", "x", "y")
+        figure.series_named("A").add(1, [1.0])
+        figure.series_named("B").add(2, [1.0])
+        text = figure.render()
+        assert "-" in text
+
+    def test_point_properties(self):
+        point = Point(x=1.0, mean=10.0, ci_half_width=2.0, trials=5)
+        assert point.ci_low == 8.0
+        assert point.ci_high == 12.0

@@ -1,0 +1,182 @@
+"""Cross-cutting robustness properties: fuzzing, determinism, schemes.
+
+These tests exercise failure paths and invariants that no single
+module owns: the codec must never crash on mutated bytes, the
+simulator must be bit-deterministic, the protocols must work over the
+real asymmetric scheme, and the baselines must be correct on arbitrary
+honest topologies.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mtg import mtg_epoch_count
+from repro.crypto.rsa import RsaScheme
+from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
+from repro.errors import CodecError
+from repro.experiments.runner import (
+    baseline_cost_trial,
+    honest_mtg_factory,
+    honest_mtgv2_factory,
+    run_trial,
+)
+from repro.graphs.generators.classic import cycle_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.net.codec import decode_envelope, encode_envelope
+from repro.net.message import Envelope, RawPayload
+from repro.types import BaselineDecision, Decision
+
+
+# ----------------------------------------------------------------------
+# Codec fuzzing
+# ----------------------------------------------------------------------
+class TestCodecFuzzing:
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=400))
+    def test_decode_never_crashes_on_garbage(self, data):
+        """Arbitrary bytes either parse or raise CodecError — nothing else."""
+        try:
+            envelope = decode_envelope(data, DEFAULT_PROFILE)
+        except CodecError:
+            return
+        assert isinstance(envelope, Envelope)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_mutated_envelopes_fail_cleanly(self, data):
+        """Bit flips in a valid envelope never escape as exceptions."""
+        payload = RawPayload(data.draw(st.binary(max_size=64)))
+        original = encode_envelope(Envelope(3, 2, payload), DEFAULT_PROFILE)
+        mutated = bytearray(original)
+        position = data.draw(st.integers(min_value=0, max_value=len(mutated) - 1))
+        mutated[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            decode_envelope(bytes(mutated), DEFAULT_PROFILE)
+        except CodecError:
+            pass
+
+    def test_truncations_fail_cleanly(self):
+        payload = RawPayload(b"payload-bytes")
+        original = encode_envelope(Envelope(3, 2, payload), DEFAULT_PROFILE)
+        for cut in range(len(original)):
+            try:
+                decode_envelope(original[:cut], DEFAULT_PROFILE)
+            except CodecError:
+                continue
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        graph = random_connected_graph(10, 0.35, seed=5)
+        first = run_trial(graph, t=1, seed=9)
+        second = run_trial(graph, t=1, seed=9)
+        assert first.verdicts == second.verdicts
+        assert first.stats.bytes_sent == second.stats.bytes_sent
+        assert first.stats.messages_sent == second.stats.messages_sent
+
+    def test_different_deployment_seed_same_decisions(self):
+        """Keys differ, protocol outcome must not."""
+        graph = cycle_graph(7)
+        first = run_trial(graph, t=1, seed=1, with_ground_truth=False)
+        second = run_trial(graph, t=1, seed=2, with_ground_truth=False)
+        assert {k: v.decision for k, v in first.verdicts.items()} == {
+            k: v.decision for k, v in second.verdicts.items()
+        }
+        assert first.stats.bytes_sent == second.stats.bytes_sent
+
+
+# ----------------------------------------------------------------------
+# Real asymmetric crypto end to end
+# ----------------------------------------------------------------------
+class TestRsaEndToEnd:
+    def test_nectar_over_rsa(self):
+        """The whole stack runs over genuine public-key signatures."""
+        graph = cycle_graph(5)
+        result = run_trial(
+            graph, t=1, scheme=RsaScheme(bits=256), with_ground_truth=False
+        )
+        decisions = {v.decision for v in result.verdicts.values()}
+        assert decisions == {Decision.NOT_PARTITIONABLE}
+        assert all(v.reachable == 5 for v in result.verdicts.values())
+
+    def test_mtgv2_over_rsa(self):
+        graph = cycle_graph(5)
+        result = run_trial(
+            graph,
+            t=0,
+            scheme=RsaScheme(bits=256),
+            honest_factory=honest_mtgv2_factory,
+            rounds=4,
+            with_ground_truth=False,
+        )
+        assert set(result.verdicts.values()) == {BaselineDecision.CONNECTED}
+
+
+# ----------------------------------------------------------------------
+# Baselines on random honest topologies
+# ----------------------------------------------------------------------
+@st.composite
+def arbitrary_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    return Graph(n, edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arbitrary_graphs())
+def test_baselines_match_actual_connectivity(graph):
+    """Honest MtG and MtGv2 decide exactly 'is the graph connected?'.
+
+    (MtG could in principle produce a Bloom false positive on a
+    partitioned graph; at 1% per membership test and these sizes it
+    does not occur for the deterministic filter geometry in use.)
+    """
+    expected = (
+        BaselineDecision.CONNECTED
+        if graph.is_connected()
+        else BaselineDecision.PARTITIONED
+    )
+    for factory in (honest_mtg_factory, honest_mtgv2_factory):
+        result = run_trial(
+            graph,
+            t=0,
+            honest_factory=factory,
+            rounds=mtg_epoch_count(graph.n),
+            with_ground_truth=False,
+        )
+        assert set(result.verdicts.values()) == {expected}
+
+
+# ----------------------------------------------------------------------
+# Wire profile invariants
+# ----------------------------------------------------------------------
+class TestWireProfileValidation:
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            WireProfile(name="bad", signature_bytes=-1)
+        with pytest.raises(ValueError):
+            WireProfile(name="bad", node_id_bytes=0)
+
+    def test_tiny_envelope_header_rejected_at_encode(self):
+        tiny = WireProfile(name="tiny", envelope_header_bytes=4)
+        with pytest.raises(CodecError):
+            encode_envelope(Envelope(0, 1, RawPayload(b"x")), tiny)
+
+    def test_cost_scales_with_profile(self):
+        graph = cycle_graph(8)
+        small = baseline_cost_trial(
+            graph, "mtgv2", profile=WireProfile(name="s", signature_bytes=32)
+        )
+        large = baseline_cost_trial(
+            graph, "mtgv2", profile=WireProfile(name="l", signature_bytes=96)
+        )
+        assert large.stats.total_bytes_sent() > small.stats.total_bytes_sent()

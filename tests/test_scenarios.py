@@ -1,0 +1,97 @@
+"""Tests for the attack scenarios and topology registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.scenarios import (
+    TOPOLOGY_FAMILIES,
+    bridged_partition_scenario,
+    build_topology,
+    split_topology_scenario,
+)
+from repro.graphs.analysis import correct_subgraph_partitioned
+from repro.graphs.connectivity import is_vertex_cut, vertex_connectivity
+
+
+class TestBridgedPartitionScenario:
+    def test_correct_subgraph_is_partitioned(self):
+        scenario = bridged_partition_scenario(20, 2, seed=1)
+        assert correct_subgraph_partitioned(scenario.graph, scenario.byzantine)
+
+    def test_byzantine_bridges_connect_the_graph(self):
+        scenario = bridged_partition_scenario(20, 2, seed=1)
+        assert scenario.graph.is_connected()
+
+    def test_byzantine_are_a_vertex_cut(self):
+        scenario = bridged_partition_scenario(20, 2, seed=1)
+        assert is_vertex_cut(scenario.graph, scenario.byzantine)
+
+    def test_connectivity_bounded_by_t(self):
+        """All cross paths pass the bridges: κ <= t."""
+        for t in (1, 2, 3):
+            scenario = bridged_partition_scenario(21, t, seed=0)
+            assert vertex_connectivity(scenario.graph, cutoff=t + 1) <= t
+
+    def test_t_zero_keeps_partition(self):
+        scenario = bridged_partition_scenario(16, 0, seed=0)
+        assert not scenario.graph.is_connected()
+        assert scenario.byzantine == frozenset()
+
+    def test_parts_cover_correct_nodes(self):
+        scenario = bridged_partition_scenario(18, 2, seed=3)
+        assert scenario.favored | scenario.muted == scenario.correct
+        assert not scenario.favored & scenario.muted
+        assert scenario.t == 2
+
+    def test_silent_towards(self):
+        scenario = bridged_partition_scenario(18, 1, seed=3)
+        byz = next(iter(scenario.byzantine))
+        assert scenario.silent_towards_of(byz) == scenario.muted
+        with pytest.raises(ExperimentError):
+            scenario.silent_towards_of(0)
+
+    def test_too_few_correct_rejected(self):
+        with pytest.raises(ExperimentError):
+            bridged_partition_scenario(4, 3)
+
+    def test_deterministic(self):
+        a = bridged_partition_scenario(16, 2, seed=9)
+        b = bridged_partition_scenario(16, 2, seed=9)
+        assert a.graph == b.graph
+
+
+class TestTopologyRegistry:
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_families_build_and_are_k_connected(self, family):
+        graph = build_topology(family, 24, 4, seed=0)
+        assert graph.n == 24
+        assert vertex_connectivity(graph) == 4
+
+    def test_unknown_family(self):
+        with pytest.raises(ExperimentError):
+            build_topology("torus", 24, 4)
+
+    def test_impossible_parameters_raise_experiment_error(self):
+        with pytest.raises(ExperimentError):
+            build_topology("generalized-wheel", 6, 6)
+
+
+class TestSplitTopologyScenario:
+    @pytest.mark.parametrize("family", ["k-regular", "k-diamond", "generalized-wheel"])
+    def test_structure(self, family):
+        scenario = split_topology_scenario(family, 24, 2, 4, seed=1)
+        assert scenario.graph.n == 24
+        assert len(scenario.byzantine) == 2
+        assert correct_subgraph_partitioned(scenario.graph, scenario.byzantine)
+        assert scenario.graph.is_connected()
+
+    def test_no_correct_cross_edges(self):
+        scenario = split_topology_scenario("k-regular", 20, 2, 4, seed=0)
+        for u, v in scenario.graph.edges():
+            if u in scenario.byzantine or v in scenario.byzantine:
+                continue
+            assert (u in scenario.favored) == (v in scenario.favored)
+
+    def test_too_few_correct_rejected(self):
+        with pytest.raises(ExperimentError):
+            split_topology_scenario("k-regular", 5, 3, 4)

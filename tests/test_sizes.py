@@ -1,0 +1,39 @@
+"""Tests for wire-size profiles."""
+
+import pytest
+
+from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE, ECDSA_PROFILE, WireProfile
+
+
+class TestProfiles:
+    def test_default_is_ecdsa(self):
+        assert DEFAULT_PROFILE is ECDSA_PROFILE
+        assert DEFAULT_PROFILE.signature_bytes == 64
+
+    def test_compact_uses_smaller_signatures(self):
+        assert COMPACT_PROFILE.signature_bytes == 32
+
+    def test_edge_bytes(self):
+        assert DEFAULT_PROFILE.edge_bytes == 4
+
+    def test_proof_bytes(self):
+        assert DEFAULT_PROFILE.proof_bytes == 4 + 2 * 64
+
+    def test_chain_link_bytes(self):
+        assert DEFAULT_PROFILE.chain_link_bytes == 2 + 64
+
+    def test_announcement_bytes_grow_linearly_with_chain(self):
+        one = DEFAULT_PROFILE.announcement_bytes(1)
+        five = DEFAULT_PROFILE.announcement_bytes(5)
+        assert five - one == 4 * DEFAULT_PROFILE.chain_link_bytes
+
+    def test_announcement_needs_a_link(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PROFILE.announcement_bytes(0)
+
+    def test_signed_id_bytes(self):
+        assert DEFAULT_PROFILE.signed_id_bytes() == 2 + 64
+
+    def test_custom_profile(self):
+        profile = WireProfile(name="x", signature_bytes=96)
+        assert profile.proof_bytes == 4 + 192

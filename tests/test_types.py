@@ -1,0 +1,77 @@
+"""Tests for the shared vocabulary (repro.types)."""
+
+import pytest
+
+from repro.types import (
+    MAX_NODE_ID,
+    BaselineDecision,
+    Decision,
+    GroundTruth,
+    Verdict,
+    canonical_edge,
+    validate_node_ids,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+
+    def test_keeps_sorted_pairs(self):
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestValidateNodeIds:
+    def test_accepts_range(self):
+        validate_node_ids([0, 1, MAX_NODE_ID])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_node_ids([-1])
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            validate_node_ids([MAX_NODE_ID + 1])
+
+
+class TestVerdict:
+    def test_partition_suspected_for_partitionable(self):
+        verdict = Verdict(Decision.PARTITIONABLE, confirmed=False, reachable=5)
+        assert verdict.partition_suspected
+
+    def test_not_suspected_for_not_partitionable(self):
+        verdict = Verdict(
+            Decision.NOT_PARTITIONABLE, confirmed=False, reachable=5, connectivity=3
+        )
+        assert not verdict.partition_suspected
+
+    def test_is_frozen(self):
+        verdict = Verdict(Decision.PARTITIONABLE, confirmed=True, reachable=2)
+        with pytest.raises(AttributeError):
+            verdict.confirmed = False
+
+
+class TestGroundTruth:
+    def test_correct_nodes_complements_byzantine(self):
+        truth = GroundTruth(
+            n=5,
+            t=1,
+            byzantine=frozenset({2}),
+            connectivity=2,
+            graph_partitioned=False,
+            correct_subgraph_partitioned=False,
+            byzantine_partitionable=False,
+        )
+        assert truth.correct_nodes == frozenset({0, 1, 3, 4})
+
+
+class TestEnums:
+    def test_decision_values_are_distinct(self):
+        assert Decision.PARTITIONABLE is not Decision.NOT_PARTITIONABLE
+
+    def test_baseline_decision_str(self):
+        assert str(BaselineDecision.CONNECTED) == "CONNECTED"

@@ -1,0 +1,110 @@
+"""Property tests for the signature-free variant's safety.
+
+The unsigned variant has no correctness proof in the paper (it is the
+Sec. VII conjecture), so we subject it to the same randomized
+adversarial scrutiny as NECTAR, restricted to the properties its
+construction targets:
+
+* **No fabricated edges** — an edge with at least one correct endpoint
+  never enters a correct node's certified view unless it is real;
+* **Safety** — if the Byzantine nodes form a vertex cut, no correct
+  node decides NOT_PARTITIONABLE;
+* **Conservativeness** — on a given topology, the unsigned variant
+  never certifies NOT_PARTITIONABLE where signed NECTAR (same t, same
+  honest run) answers PARTITIONABLE.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.unsigned import (
+    LyingClaimantNode,
+    UnsignedNectarNode,
+    build_unsigned_protocols,
+    unsigned_round_count,
+)
+from repro.graphs.analysis import correct_subgraph_partitioned
+from repro.graphs.graph import Graph
+from repro.net.simulator import SyncNetwork
+from repro.types import Decision
+
+
+@st.composite
+def unsigned_runs(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    graph = Graph(n, edges)
+    t = draw(st.integers(min_value=0, max_value=min(2, n - 2)))
+    byzantine = frozenset(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1), max_size=t, unique=True
+            )
+        )
+    )
+    liar_mode = draw(st.booleans())
+    return graph, t, byzantine, liar_mode
+
+
+def run_unsigned_adversarial(graph, t, byzantine, liar_mode):
+    protocols = build_unsigned_protocols(graph, t)
+    correct = sorted(set(graph.nodes()) - byzantine)
+    for b in byzantine:
+        if liar_mode and correct:
+            protocols[b] = LyingClaimantNode(
+                b, graph.neighbors(b), victims=correct
+            )
+        else:
+            # Silent (crash-like) Byzantine node.
+            protocols[b] = LyingClaimantNode(b, graph.neighbors(b), victims=())
+    network = SyncNetwork(graph, protocols)
+    verdicts = network.run(unsigned_round_count(graph.n))
+    return protocols, verdicts
+
+
+@settings(max_examples=40, deadline=None)
+@given(unsigned_runs())
+def test_no_fabricated_edges_with_correct_endpoints(run):
+    graph, t, byzantine, liar_mode = run
+    protocols, _ = run_unsigned_adversarial(graph, t, byzantine, liar_mode)
+    real = graph.edges()
+    for v, node in protocols.items():
+        if v in byzantine or not isinstance(node, UnsignedNectarNode):
+            continue
+        for edge in node.accepted_edges():
+            if edge not in real:
+                assert edge[0] in byzantine and edge[1] in byzantine
+
+
+@settings(max_examples=40, deadline=None)
+@given(unsigned_runs())
+def test_safety_under_adversaries(run):
+    graph, t, byzantine, liar_mode = run
+    _, verdicts = run_unsigned_adversarial(graph, t, byzantine, liar_mode)
+    if not correct_subgraph_partitioned(graph, byzantine):
+        return
+    for v, verdict in verdicts.items():
+        if v in byzantine:
+            continue
+        assert verdict.decision is Decision.PARTITIONABLE
+
+
+@settings(max_examples=30, deadline=None)
+@given(unsigned_runs())
+def test_conservative_relative_to_signed_nectar(run):
+    """Honest runs: unsigned NOT_PARTITIONABLE ⟹ signed NOT_PARTITIONABLE."""
+    graph, t, _byzantine, _liar = run
+    from repro.experiments.runner import run_trial
+
+    _, unsigned_verdicts = run_unsigned_adversarial(
+        graph, t, frozenset(), liar_mode=False
+    )
+    signed = run_trial(graph, t=t, with_ground_truth=False)
+    for v in graph.nodes():
+        if unsigned_verdicts[v].decision is Decision.NOT_PARTITIONABLE:
+            assert signed.verdicts[v].decision is Decision.NOT_PARTITIONABLE

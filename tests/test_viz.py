@@ -1,0 +1,77 @@
+"""Tests for the terminal visualisation helpers."""
+
+from repro.experiments.report import FigureData
+from repro.graphs.generators.drone import drone_deployment
+from repro.viz import (
+    bar_chart,
+    drone_map,
+    figure_sparklines,
+    series_sparkline,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert list(line) == sorted(line)
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_use_full_range(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestFigureSparklines:
+    def test_renders_all_series(self):
+        figure = FigureData("f", "demo", "x", "y")
+        figure.series_named("alpha").add(1, [1.0])
+        figure.series_named("alpha").add(2, [9.0])
+        figure.series_named("beta").add(1, [3.0])
+        text = figure_sparklines(figure)
+        assert "alpha" in text and "beta" in text
+        assert "demo" in text
+
+    def test_empty_series(self):
+        figure = FigureData("f", "demo", "x", "y")
+        figure.series_named("empty")
+        assert "(empty)" in series_sparkline(figure.series[0])
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("a", 10.0), ("zero", 0.0)], width=10)
+        assert "zero" in text
+        assert text.splitlines()[1].count("#") == 0
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+
+class TestDroneMap:
+    def test_contains_both_scatters_and_legend(self):
+        deployment = drone_deployment(14, 4.0, 1.5, seed=2)
+        text = drone_map(deployment)
+        assert "o" in text
+        assert "x" in text
+        assert "left scatter (7)" in text
+        assert "d=4.0" in text
+
+    def test_grid_dimensions(self):
+        deployment = drone_deployment(10, 2.0, 1.5, seed=2)
+        lines = drone_map(deployment, width=30, height=8).splitlines()
+        assert len(lines) == 8 + 3  # body + two borders + legend
+        assert all(len(line) == 32 for line in lines[:-1])
