@@ -12,8 +12,13 @@ from repro.crypto.sizes import PAYLOAD_PROFILE
 from repro.experiments.figures import fig3_random_regular, fig3_regular_cost
 
 
-def test_fig3_regular_cost(benchmark, archive):
-    figure = benchmark.pedantic(fig3_regular_cost, rounds=1, iterations=1)
+def test_fig3_regular_cost(benchmark, archive, sweep_workers):
+    figure = benchmark.pedantic(
+        fig3_regular_cost,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
     archive(
         figure,
         "Fig. 3 — monotone in n and k; <= ~500 KB/node at n=100, k=34 "
@@ -25,9 +30,14 @@ def test_fig3_regular_cost(benchmark, archive):
         assert means == sorted(means)
 
 
-def test_fig3_random_regular(benchmark, archive):
+def test_fig3_random_regular(benchmark, archive, sweep_workers):
     """The paper's exact methodology: sampled graphs, trials, CIs."""
-    figure = benchmark.pedantic(fig3_random_regular, rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        fig3_random_regular,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
     archive(
         figure,
         "Fig. 3 methodology check — random k-regular (Steger–Wormald) "
@@ -38,10 +48,10 @@ def test_fig3_random_regular(benchmark, archive):
         assert means == sorted(means)
 
 
-def test_fig3_payload_profile(benchmark, archive):
+def test_fig3_payload_profile(benchmark, archive, sweep_workers):
     figure = benchmark.pedantic(
         fig3_regular_cost,
-        kwargs={"profile": PAYLOAD_PROFILE},
+        kwargs={"profile": PAYLOAD_PROFILE, "workers": sweep_workers},
         rounds=1,
         iterations=1,
     )

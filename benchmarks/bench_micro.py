@@ -7,11 +7,13 @@ useful when tuning and to catch performance regressions.
 
 import random
 
+from repro.core.validation import ValidationMode
 from repro.crypto.chain import extend_chain, verify_chain
 from repro.crypto.keys import build_keystore
 from repro.crypto.proofs import make_proof, proof_bytes, verify_proof
 from repro.crypto.rsa import RsaScheme
 from repro.crypto.signer import HmacScheme
+from repro.experiments.runner import run_trial
 from repro.graphs.connectivity import vertex_connectivity
 from repro.graphs.generators.drone import drone_graph
 from repro.graphs.generators.regular import harary_graph
@@ -70,3 +72,29 @@ def test_generate_drone_graph(benchmark):
 
 def test_generate_harary(benchmark):
     benchmark(harary_graph, 10, 100)
+
+
+def _full_validation_trial(n: int, k: int):
+    """A fully verified, cache-accelerated NECTAR trial (DESIGN.md §6.1)."""
+    return run_trial(
+        harary_graph(k, n),
+        t=0,
+        validation_mode=ValidationMode.FULL,
+        connectivity_cutoff=1,
+        with_ground_truth=False,
+    )
+
+
+def test_full_validation_trial_n60(benchmark):
+    """The Fig. 3 acceptance cell: FULL validation at n >= 60."""
+    benchmark.pedantic(_full_validation_trial, args=(60, 6), rounds=1, iterations=1)
+
+
+def test_full_validation_cache_hit_rate(benchmark):
+    """Perf-regression guard: on a relay-heavy d-regular topology most
+    signature lookups must be served by the verification cache."""
+    result = benchmark.pedantic(
+        _full_validation_trial, args=(24, 4), rounds=1, iterations=1
+    )
+    assert result.cache_stats is not None
+    assert result.cache_stats.hit_rate() > 0.5

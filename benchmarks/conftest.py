@@ -9,6 +9,11 @@ Run with::
 
     pytest benchmarks/ --benchmark-only            # reduced scale
     REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # paper scale
+    pytest benchmarks/ --workers 4                 # shard sweep trials
+
+``--workers`` feeds the figure sweeps' parallel executor
+(:mod:`repro.experiments.parallel`); result rows are identical for any
+worker count, only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -21,6 +26,25 @@ from repro.experiments.persistence import dump_figure_json
 from repro.experiments.report import FigureData
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        default=None,
+        help=(
+            "worker processes for figure sweeps (0 = one per CPU; "
+            "default: the REPRO_WORKERS env var, else serial)"
+        ),
+    )
+
+
+@pytest.fixture
+def sweep_workers(request) -> int | None:
+    """The ``--workers`` option as an int (None = defer to env/serial)."""
+    raw = request.config.getoption("--workers")
+    return None if raw is None else int(raw)
 
 
 @pytest.fixture

@@ -18,6 +18,7 @@ scenario once and prints who got fooled.
 from __future__ import annotations
 
 import argparse
+import inspect
 from typing import Callable, Sequence
 
 from repro.experiments import figures as figures_module
@@ -51,6 +52,15 @@ FIGURES: dict[str, Callable[[], FigureData]] = {
 }
 
 
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count cannot be negative, got {count}"
+        )
+    return count
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +88,17 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument(
         "--spark", action="store_true", help="also print unicode sparklines"
+    )
+    figure.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help=(
+            "shard sweep trials over N worker processes; 0 means one per "
+            "CPU (default: the REPRO_WORKERS env var, else serial). "
+            "Results are identical for any worker count."
+        ),
     )
 
     drone_map = commands.add_parser(
@@ -125,7 +146,15 @@ def _run_check(args: argparse.Namespace) -> int:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
-    figure = FIGURES[args.name]()
+    function = FIGURES[args.name]
+    kwargs = {}
+    # The ablations run serially by design; pass workers only to the
+    # sweeps that shard their trials.
+    if "workers" in inspect.signature(function).parameters:
+        kwargs["workers"] = args.workers
+    elif args.workers is not None:
+        print(f"note: {args.name} runs serially; --workers ignored")
+    figure = function(**kwargs)
     print(figure.render())
     if args.spark:
         from repro.viz import figure_sparklines

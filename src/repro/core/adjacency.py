@@ -32,12 +32,25 @@ class DiscoveredGraph:
         """Total number of processes in the system."""
         return self._n
 
+    @property
+    def proofs(self) -> dict[Edge, NeighborhoodProof]:
+        """The proof-by-canonical-edge map (read-only by convention).
+
+        Exposed so hot receive loops can test membership without a
+        method call per delivered announcement copy; mutate only
+        through :meth:`add`.
+        """
+        return self._proofs
+
     def knows(self, u: NodeId, v: NodeId) -> bool:
         """Whether the edge (u, v) is already recorded (l. 14's check)."""
-        try:
-            return canonical_edge(u, v) in self._proofs
-        except ValueError:
-            return False
+        # Inlined canonicalisation: this runs once per delivered
+        # announcement copy, ahead of all other validation.
+        if u > v:
+            u, v = v, u
+        elif u == v:
+            return False  # self loops are never recorded
+        return (u, v) in self._proofs
 
     def add(self, proof: NeighborhoodProof) -> bool:
         """Record an edge's proof; returns False if already known."""

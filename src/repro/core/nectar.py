@@ -24,6 +24,7 @@ from repro.core.adjacency import DiscoveredGraph
 from repro.core.decision import decide
 from repro.core.messages import EdgeAnnouncement, NectarBatch
 from repro.core.validation import AnnouncementValidator, ValidationMode
+from repro.crypto.cache import VerificationCache
 from repro.crypto.chain import ChainLink, extend_chain
 from repro.crypto.proofs import NeighborhoodProof, proof_bytes
 from repro.crypto.signer import KeyPair, PublicDirectory, SignatureScheme
@@ -60,6 +61,12 @@ class NectarNode(RoundProtocol):
             cost sweeps only).
         connectivity_cutoff: optional early-exit bound for the decision
             phase's connectivity computation (must exceed ``t``).
+        verification_cache: optional
+            :class:`repro.crypto.cache.VerificationCache` memoizing
+            rules 4-5 of validation.  Pass a per-node instance to bound
+            replay verification, or share one across a simulated
+            deployment to verify each signature once globally
+            (DESIGN.md §6.1); ``None`` verifies every time.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class NectarNode(RoundProtocol):
         validation_mode: ValidationMode = ValidationMode.FULL,
         connectivity_cutoff: int | None = None,
         batching: bool = True,
+        verification_cache: VerificationCache | None = None,
     ) -> None:
         if t < 0:
             raise ProtocolError("t must be non-negative")
@@ -94,7 +102,9 @@ class NectarNode(RoundProtocol):
         self._directory = directory
         self._neighbors = frozenset(neighbor_proofs)
         self._neighbor_proofs = dict(neighbor_proofs)
-        self._validator = AnnouncementValidator(scheme, directory, validation_mode)
+        self._validator = AnnouncementValidator(
+            scheme, directory, validation_mode, cache=verification_cache
+        )
         self._connectivity_cutoff = connectivity_cutoff
         # Batched framing (default) coalesces all announcements for a
         # neighbor into one envelope per round; per-edge framing pays
@@ -138,18 +148,29 @@ class NectarNode(RoundProtocol):
     def deliver(self, round_number: int, sender: NodeId, payload: Any) -> None:
         if not isinstance(payload, NectarBatch):
             return  # foreign or junk payload: ignore (l. 13)
+        # Local bindings: this loop runs once per announcement copy per
+        # receiver and dominates large sweeps.
+        discovered = self._discovered
+        known = discovered.proofs
+        validate = self._validator.validate
+        pending = self._pending
         for announcement in payload.announcements:
             proof = announcement.proof
             # Dedup before any signature work: an already-known edge is
             # skipped outright (l. 14), which also bounds the
             # verification load under announcement spam (see the
-            # dedup ablation).
-            if self._discovered.knows(proof.lo, proof.hi):
+            # dedup ablation).  Known edges are keyed canonically;
+            # probe that orientation (self loops match nothing and
+            # die in validation, as before).
+            lo, hi = proof.edge
+            if lo > hi:
+                lo, hi = hi, lo
+            if lo != hi and (lo, hi) in known:
                 continue
-            if not self._validator.validate(announcement, round_number, sender):
+            if not validate(announcement, round_number, sender):
                 continue
-            self._discovered.add(proof)
-            self._pending.append((announcement, sender))
+            discovered.add(proof)
+            pending.append((announcement, sender))
 
     def conclude(self) -> Verdict:
         if self._decided:
@@ -189,13 +210,39 @@ class NectarNode(RoundProtocol):
                 (EdgeAnnouncement(proof=announcement.proof, chain=chain), source)
             )
         self._pending = []
+        everything = tuple(announcement for announcement, _ in extended)
+        # Deliveries arrive one envelope at a time, so the pending list
+        # is grouped by source; excluding a source is then a contiguous
+        # slice removal (order-preserving, and O(1) Python work per
+        # neighbor instead of a per-announcement filter).  Fall back to
+        # filtering if a deviant delivery pattern broke the grouping.
+        spans: dict[NodeId, tuple[int, int]] = {}
+        contiguous = True
+        previous: NodeId | None = None
+        for index, (_, source) in enumerate(extended):
+            if source != previous:
+                if source in spans:
+                    contiguous = False
+                    break
+                spans[source] = (index, index + 1)
+                previous = source
+            else:
+                start, _ = spans[source]
+                spans[source] = (start, index + 1)
         per_neighbor = []
         for neighbor in sorted(self._neighbors):
-            entries = tuple(
-                announcement
-                for announcement, source in extended
-                if source != neighbor
-            )
+            if contiguous:
+                span = spans.get(neighbor)
+                if span is None:
+                    entries = everything  # nothing to exclude: share
+                else:
+                    entries = everything[: span[0]] + everything[span[1]:]
+            else:
+                entries = tuple(
+                    announcement
+                    for announcement, source in extended
+                    if source != neighbor
+                )
             if entries:
                 per_neighbor.append((neighbor, entries))
         return self._frame(per_neighbor)
@@ -233,6 +280,13 @@ class NectarNode(RoundProtocol):
         self, proof: NeighborhoodProof, chain: tuple[ChainLink, ...]
     ) -> tuple[ChainLink, ...]:
         """Extend (or create) the signature chain with our own layer."""
+        cache = self._validator.cache
+        if cache is not None:
+            # Byte-identical to extend_chain; additionally hands the
+            # signed message bytes to the extension's first verifier.
+            return cache.extend_chain(
+                self._scheme, self._key_pair, proof_bytes(proof), chain
+            )
         return extend_chain(self._scheme, self._key_pair, proof_bytes(proof), chain)
 
     def _keep_outgoing(self, outgoing: Outgoing, round_number: int) -> bool:

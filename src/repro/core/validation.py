@@ -18,6 +18,12 @@ Checks 4-5 are the cryptographic ones; in ``ValidationMode.ACCOUNTING``
 they are skipped so that adversary-free cost sweeps (Figs. 3-7) run
 fast, while the structural checks 1-3 always apply.  The experiment
 runner refuses ACCOUNTING mode in runs containing Byzantine nodes.
+
+Checks 4-5 are also pure functions of the announcement, so a
+:class:`repro.crypto.cache.VerificationCache` can memoize them without
+changing a single accept/reject decision (DESIGN.md §6.1); pass one to
+the constructor to enable it.  A cache shared across the nodes of a
+simulated deployment verifies every distinct signature once globally.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import enum
 
 from repro.core.messages import EdgeAnnouncement
+from repro.crypto.cache import VerificationCache
 from repro.crypto.chain import verify_chain
 from repro.crypto.proofs import proof_bytes, verify_proof
 from repro.crypto.signer import PublicDirectory, SignatureScheme
@@ -48,15 +55,22 @@ class AnnouncementValidator:
         scheme: SignatureScheme,
         directory: PublicDirectory,
         mode: ValidationMode = ValidationMode.FULL,
+        cache: VerificationCache | None = None,
     ) -> None:
         self._scheme = scheme
         self._directory = directory
         self._mode = mode
+        self._cache = cache
 
     @property
     def mode(self) -> ValidationMode:
         """The configured validation mode."""
         return self._mode
+
+    @property
+    def cache(self) -> VerificationCache | None:
+        """The verification cache, if one was injected."""
+        return self._cache
 
     def validate(
         self,
@@ -74,14 +88,22 @@ class AnnouncementValidator:
         if chain[-1].signer != sender:
             return False
         # Rule 3: the originator is an endpoint of the announced edge.
-        if chain[0].signer not in proof.endpoints():
+        originator = chain[0].signer
+        if originator != proof.edge[0] and originator != proof.edge[1]:
             return False
         if proof.lo == proof.hi:
             return False
         if self._mode is ValidationMode.ACCOUNTING:
             return True
+        if self._cache is not None:
+            # Rules 4-5, memoized: same signatures, checked once.
+            return self._cache.verify_announcement(
+                self._scheme, self._directory, announcement
+            )
         # Rule 4: the proof itself is co-signed by both endpoints.
         if not verify_proof(self._scheme, self._directory, proof):
             return False
         # Rule 5: every chain layer verifies.
-        return verify_chain(self._scheme, self._directory, proof_bytes(proof), chain)
+        return verify_chain(
+            self._scheme, self._directory, proof_bytes(proof), chain
+        )

@@ -96,11 +96,20 @@ def verify_proof(
 
 
 def proof_bytes(proof: NeighborhoodProof) -> bytes:
-    """Deterministic encoding of a proof, used as chain payload."""
-    lo, hi = proof.edge
-    return (
-        lo.to_bytes(2, "big")
-        + hi.to_bytes(2, "big")
-        + proof.signature_lo
-        + proof.signature_hi
-    )
+    """Deterministic encoding of a proof, used as chain payload.
+
+    Memoized on the proof object: the same (immutable) proof is
+    encoded once per relay and once per verification along every path
+    its announcement travels, always to the same bytes.
+    """
+    cached = getattr(proof, "_payload_cache", None)
+    if cached is None:
+        lo, hi = proof.edge
+        cached = (
+            lo.to_bytes(2, "big")
+            + hi.to_bytes(2, "big")
+            + proof.signature_lo
+            + proof.signature_hi
+        )
+        object.__setattr__(proof, "_payload_cache", cached)
+    return cached

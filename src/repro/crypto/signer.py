@@ -103,7 +103,9 @@ class HmacScheme(SignatureScheme):
         return KeyPair(node_id=node_id, private_key=secret, public_key=public)
 
     def sign(self, key_pair: KeyPair, data: bytes) -> bytes:
-        tag = hmac.new(key_pair.private_key, data, hashlib.sha256).digest()
+        # hmac.digest is the one-shot C path — noticeably faster than
+        # hmac.new(...).digest() for the short messages signed here.
+        tag = hmac.digest(key_pair.private_key, data, "sha256")
         return tag.ljust(self.signature_size, b"\x00")
 
     def verify(self, public_key: bytes, data: bytes, signature: bytes) -> bool:
@@ -112,7 +114,7 @@ class HmacScheme(SignatureScheme):
         secret = self._secret_by_public.get(public_key)
         if secret is None:
             return False
-        expected = hmac.new(secret, data, hashlib.sha256).digest()
+        expected = hmac.digest(secret, data, "sha256")
         return hmac.compare_digest(signature[: self._TAG_LEN], expected)
 
 

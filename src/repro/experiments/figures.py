@@ -6,6 +6,14 @@ whose series mirror the paper's curves.  Parameters default to a
 the environment variable ``REPRO_FULL=1`` switches to the paper's
 scale (n up to 100, 50 trials).  EXPERIMENTS.md records both scales
 against the paper's numbers.
+
+The sweep functions accept a ``workers`` argument (also reachable via
+``REPRO_WORKERS`` and the CLI's ``--workers``) that shards trial cells
+over worker processes through
+:func:`repro.experiments.parallel.parallel_map`.  Every cell derives
+all of its randomness from explicit seeds in its argument tuple, so
+serial and parallel runs produce identical rows for any worker count —
+``tests/test_parallel.py`` pins this.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.crypto.signer import NullScheme
 from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE, PAYLOAD_PROFILE
 from repro.errors import ExperimentError
 from repro.experiments.accuracy import success_rate
+from repro.experiments.parallel import parallel_map
 from repro.experiments.report import FigureData
 from repro.experiments.runner import (
     NodeSetup,
@@ -63,12 +72,47 @@ def _scale_note(figure: FigureData) -> None:
 
 
 # ----------------------------------------------------------------------
+# Picklable sweep cells (module level so worker processes can import
+# them); each is one self-contained trial, seeded by its arguments.
+# ----------------------------------------------------------------------
+def _harary_cost_cell(args) -> float:
+    n, k, profile = args
+    return nectar_cost_trial(harary_graph(k, n), profile=profile).mean_kb_sent()
+
+
+def _random_regular_cost_cell(args) -> float:
+    n, k, trial, profile = args
+    graph = random_regular_graph(n, k, seed=trial)
+    return nectar_cost_trial(graph, profile=profile).mean_kb_sent()
+
+
+def _drone_cost_cell(args) -> float:
+    protocol, n, d, radius, trial = args
+    graph = drone_graph(n, d, radius, seed=trial)
+    if protocol == "nectar":
+        return nectar_cost_trial(graph).mean_kb_sent()
+    return baseline_cost_trial(graph, protocol).mean_kb_sent()
+
+
+def _fig8_cell(args) -> tuple[float, float, float]:
+    n, t, radius, trial = args
+    clear_connectivity_cache()
+    scenario = bridged_partition_scenario(n, t, radius=radius, seed=trial)
+    return (
+        _nectar_attack_rate(scenario, seed=trial),
+        _mtgv2_attack_rate(scenario, seed=trial),
+        _mtg_attack_rate(n, t, radius, seed=trial),
+    )
+
+
+# ----------------------------------------------------------------------
 # Fig. 3 — NECTAR cost on k-regular k-connected graphs
 # ----------------------------------------------------------------------
 def fig3_regular_cost(
     ns: Sequence[int] | None = None,
     ks: Sequence[int] | None = None,
     profile=DEFAULT_PROFILE,
+    workers: int | None = None,
 ) -> FigureData:
     """Data sent per node vs n, for several k (Fig. 3).
 
@@ -94,13 +138,14 @@ def fig3_regular_cost(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [(n, k, profile) for k in ks for n in ns if k < n]
+    values = iter(parallel_map(_harary_cost_cell, cells, workers=workers))
     for k in ks:
         series = figure.series_named(f"Nectar: k = {k}")
         for n in ns:
             if k >= n:
                 continue
-            result = nectar_cost_trial(harary_graph(k, n), profile=profile)
-            series.add(n, [result.mean_kb_sent()])
+            series.add(n, [next(values)])
     return figure
 
 
@@ -109,6 +154,7 @@ def fig3_random_regular(
     ks: Sequence[int] | None = None,
     trials: int | None = None,
     profile=DEFAULT_PROFILE,
+    workers: int | None = None,
 ) -> FigureData:
     """Fig. 3 with the paper's exact methodology: random k-regular
     graphs (Steger–Wormald sampling [24]), multiple trials, 95% CIs.
@@ -132,18 +178,20 @@ def fig3_random_regular(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [
+        (n, k, trial, profile)
+        for k in ks
+        for n in ns
+        if k < n and (n * k) % 2 == 0
+        for trial in range(trials)
+    ]
+    values = iter(parallel_map(_random_regular_cost_cell, cells, workers=workers))
     for k in ks:
         series = figure.series_named(f"Nectar: k = {k}")
         for n in ns:
             if k >= n or (n * k) % 2 != 0:
                 continue
-            samples = [
-                nectar_cost_trial(
-                    random_regular_graph(n, k, seed=trial), profile=profile
-                ).mean_kb_sent()
-                for trial in range(trials)
-            ]
-            series.add(n, samples)
+            series.add(n, [next(values) for _ in range(trials)])
     return figure
 
 
@@ -213,6 +261,7 @@ def fig4_drone_nectar(
     radii: Sequence[float] = (1.2, 1.8, 2.4),
     n: int = 20,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """NECTAR (and flat MtG) cost vs barycenter distance (Fig. 4)."""
     if distances is None:
@@ -226,23 +275,24 @@ def fig4_drone_nectar(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [
+        ("nectar", n, d, radius, trial)
+        for radius in radii
+        for d in distances
+        for trial in range(trials)
+    ] + [
+        ("mtg", n, d, 1.8, trial)
+        for d in distances
+        for trial in range(trials)
+    ]
+    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
     for radius in radii:
         series = figure.series_named(f"Nectar: radius = {radius}")
         for d in distances:
-            samples = [
-                nectar_cost_trial(drone_graph(n, d, radius, seed=trial)).mean_kb_sent()
-                for trial in range(trials)
-            ]
-            series.add(d, samples)
+            series.add(d, [next(values) for _ in range(trials)])
     mtg_series = figure.series_named("MtG")
     for d in distances:
-        samples = [
-            baseline_cost_trial(
-                drone_graph(n, d, 1.8, seed=trial), "mtg"
-            ).mean_kb_sent()
-            for trial in range(trials)
-        ]
-        mtg_series.add(d, samples)
+        mtg_series.add(d, [next(values) for _ in range(trials)])
     return figure
 
 
@@ -251,6 +301,7 @@ def fig5_drone_mtgv2(
     radii: Sequence[float] = (1.2, 1.8, 2.4),
     n: int = 20,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """MtGv2 (and flat MtG) cost vs barycenter distance (Fig. 5)."""
     if distances is None:
@@ -264,25 +315,24 @@ def fig5_drone_mtgv2(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [
+        ("mtgv2", n, d, radius, trial)
+        for radius in radii
+        for d in distances
+        for trial in range(trials)
+    ] + [
+        ("mtg", n, d, 1.8, trial)
+        for d in distances
+        for trial in range(trials)
+    ]
+    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
     for radius in radii:
         series = figure.series_named(f"MtGv2: radius = {radius}")
         for d in distances:
-            samples = [
-                baseline_cost_trial(
-                    drone_graph(n, d, radius, seed=trial), "mtgv2"
-                ).mean_kb_sent()
-                for trial in range(trials)
-            ]
-            series.add(d, samples)
+            series.add(d, [next(values) for _ in range(trials)])
     mtg_series = figure.series_named("MtG")
     for d in distances:
-        samples = [
-            baseline_cost_trial(
-                drone_graph(n, d, 1.8, seed=trial), "mtg"
-            ).mean_kb_sent()
-            for trial in range(trials)
-        ]
-        mtg_series.add(d, samples)
+        mtg_series.add(d, [next(values) for _ in range(trials)])
     return figure
 
 
@@ -291,6 +341,7 @@ def fig6_drone_scaling_nectar(
     distances: Sequence[float] = (0.0, 2.5, 5.0),
     radius: float = 1.2,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """NECTAR cost vs n in the drone scenario (Fig. 6)."""
     if ns is None:
@@ -304,23 +355,24 @@ def fig6_drone_scaling_nectar(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [
+        ("nectar", n, d, radius, trial)
+        for d in distances
+        for n in ns
+        for trial in range(trials)
+    ] + [
+        ("mtg", n, 2.5, radius, trial)
+        for n in ns
+        for trial in range(trials)
+    ]
+    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
     for d in distances:
         series = figure.series_named(f"Nectar: d = {d}")
         for n in ns:
-            samples = [
-                nectar_cost_trial(drone_graph(n, d, radius, seed=trial)).mean_kb_sent()
-                for trial in range(trials)
-            ]
-            series.add(n, samples)
+            series.add(n, [next(values) for _ in range(trials)])
     mtg_series = figure.series_named("MtG")
     for n in ns:
-        samples = [
-            baseline_cost_trial(
-                drone_graph(n, 2.5, radius, seed=trial), "mtg"
-            ).mean_kb_sent()
-            for trial in range(trials)
-        ]
-        mtg_series.add(n, samples)
+        mtg_series.add(n, [next(values) for _ in range(trials)])
     return figure
 
 
@@ -329,6 +381,7 @@ def fig7_drone_scaling_mtgv2(
     distances: Sequence[float] = (0.0, 2.5, 5.0),
     radius: float = 1.2,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """MtGv2 cost vs n in the drone scenario (Fig. 7)."""
     if ns is None:
@@ -342,25 +395,24 @@ def fig7_drone_scaling_mtgv2(
         y_label="KB sent per node",
     )
     _scale_note(figure)
+    cells = [
+        ("mtgv2", n, d, radius, trial)
+        for d in distances
+        for n in ns
+        for trial in range(trials)
+    ] + [
+        ("mtg", n, 2.5, radius, trial)
+        for n in ns
+        for trial in range(trials)
+    ]
+    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
     for d in distances:
         series = figure.series_named(f"MtGv2: d = {d}")
         for n in ns:
-            samples = [
-                baseline_cost_trial(
-                    drone_graph(n, d, radius, seed=trial), "mtgv2"
-                ).mean_kb_sent()
-                for trial in range(trials)
-            ]
-            series.add(n, samples)
+            series.add(n, [next(values) for _ in range(trials)])
     mtg_series = figure.series_named("MtG")
     for n in ns:
-        samples = [
-            baseline_cost_trial(
-                drone_graph(n, 2.5, radius, seed=trial), "mtg"
-            ).mean_kb_sent()
-            for trial in range(trials)
-        ]
-        mtg_series.add(n, samples)
+        mtg_series.add(n, [next(values) for _ in range(trials)])
     return figure
 
 
@@ -451,6 +503,7 @@ def fig8_byzantine_resilience(
     ts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
     radius: float = 1.2,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """Decision success rate vs number of Byzantine nodes (Fig. 8)."""
     if trials is None:
@@ -465,19 +518,13 @@ def fig8_byzantine_resilience(
     nectar_series = figure.series_named("Nectar (ours)")
     mtg_series = figure.series_named("MtG")
     mtgv2_series = figure.series_named("MtGv2")
+    cells = [(n, t, radius, trial) for t in ts for trial in range(trials)]
+    values = iter(parallel_map(_fig8_cell, cells, workers=workers))
     for t in ts:
-        nectar_samples = []
-        mtgv2_samples = []
-        mtg_samples = []
-        for trial in range(trials):
-            clear_connectivity_cache()
-            scenario = bridged_partition_scenario(n, t, radius=radius, seed=trial)
-            nectar_samples.append(_nectar_attack_rate(scenario, seed=trial))
-            mtgv2_samples.append(_mtgv2_attack_rate(scenario, seed=trial))
-            mtg_samples.append(_mtg_attack_rate(n, t, radius, seed=trial))
-        nectar_series.add(t, nectar_samples)
-        mtgv2_series.add(t, mtgv2_samples)
-        mtg_series.add(t, mtg_samples)
+        rates = [next(values) for _ in range(trials)]
+        nectar_series.add(t, [r[0] for r in rates])
+        mtgv2_series.add(t, [r[1] for r in rates])
+        mtg_series.add(t, [r[2] for r in rates])
     return figure
 
 

@@ -1,0 +1,110 @@
+"""Sharded trial execution for figure sweeps (DESIGN.md §6.3).
+
+A figure sweep is an embarrassingly parallel grid: every cell builds
+its own deployment from an explicit seed and shares no mutable state
+with its siblings.  :func:`parallel_map` fans such cells out over a
+``multiprocessing`` pool while keeping the *results* bit-identical to
+a serial run — results come back in submission order, and every cell's
+randomness flows exclusively from the seed in its argument tuple, never
+from ambient RNG state.  ``tests/test_parallel.py`` pins serial ≡
+parallel for every worker count.
+
+Worker-count resolution (:func:`resolve_workers`):
+
+* an explicit ``workers`` argument wins (``0`` means one per CPU);
+* else the ``REPRO_WORKERS`` environment variable (same convention);
+* else serial — parallelism is strictly opt-in, because under the
+  default 1-worker resolution the pool is bypassed entirely and the
+  sweep runs in-process exactly as before.
+
+:func:`trial_seeds` derives per-trial seeds by hashing
+``(base_seed, index)``, so shards are statistically independent and a
+trial's seed never depends on which worker runs it or how many trials
+surround it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Turn a worker request into a concrete process count (>= 1).
+
+    Args:
+        workers: explicit request; ``None`` defers to the
+            ``REPRO_WORKERS`` environment variable, ``0`` means one
+            worker per CPU.
+
+    Raises:
+        ValueError: on a negative request (including via the
+            environment variable).
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 0:
+        raise ValueError(f"worker count cannot be negative, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def trial_seeds(base_seed: int, count: int) -> list[int]:
+    """``count`` independent 63-bit seeds derived from ``base_seed``.
+
+    Deterministic, collision-resistant (SHA-256 of ``(base, index)``)
+    and prefix-stable: growing ``count`` never changes earlier seeds,
+    so extending a sweep keeps its existing trials.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    seeds = []
+    for index in range(count):
+        digest = hashlib.sha256(f"repro-trial|{base_seed}|{index}".encode()).digest()
+        seeds.append(int.from_bytes(digest[:8], "big") >> 1)
+    return seeds
+
+
+def parallel_map(
+    fn: Callable[[_Item], _Result],
+    items: Iterable[_Item],
+    workers: int | None = None,
+) -> list[_Result]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Results are returned in item order regardless of completion order
+    or worker count.  With one resolved worker (the default) the pool
+    is bypassed and this is a plain in-process loop.
+
+    Args:
+        fn: a picklable (module-level) function; each call must be
+            self-contained — seeded by its argument, touching no shared
+            mutable state.
+        items: the argument tuples, one per cell.
+        workers: see :func:`resolve_workers`.
+    """
+    sequence: Sequence[_Item] = list(items)
+    count = min(resolve_workers(workers), len(sequence))
+    if count <= 1:
+        return [fn(item) for item in sequence]
+    # fork is cheapest and inherits sys.path; fall back to the default
+    # start method (spawn) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(processes=count) as pool:
+        return pool.map(fn, sequence, chunksize=1)

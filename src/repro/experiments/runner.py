@@ -16,6 +16,7 @@ from repro.baselines.mtg import MtgNode, mtg_epoch_count
 from repro.baselines.mtgv2 import Mtgv2Node, mtgv2_epoch_count
 from repro.core.nectar import NectarNode, nectar_round_count
 from repro.core.validation import ValidationMode
+from repro.crypto.cache import CacheStats, VerificationCache
 from repro.crypto.keys import KeyStore
 from repro.crypto.proofs import NeighborhoodProof, make_proof
 from repro.crypto.signer import HmacScheme, NullScheme, SignatureScheme
@@ -48,6 +49,10 @@ class NodeSetup:
         neighbor_proofs: proofs for the node's real edges.
         validation_mode: validation mode for NECTAR nodes.
         connectivity_cutoff: decision-phase cutoff for NECTAR nodes.
+        verification_cache: trial-wide memo for signature verification
+            (None disables caching).  Sharing across nodes is safe —
+            verification is deterministic — and lets each distinct
+            signature be checked once per trial (DESIGN.md §6.1).
     """
 
     node_id: NodeId
@@ -60,6 +65,7 @@ class NodeSetup:
     neighbor_proofs: Mapping[NodeId, NeighborhoodProof]
     validation_mode: ValidationMode
     connectivity_cutoff: int | None
+    verification_cache: VerificationCache | None = None
 
     @property
     def neighbors(self) -> frozenset[NodeId]:
@@ -117,6 +123,7 @@ def honest_nectar_factory(setup: NodeSetup) -> NectarNode:
         neighbor_proofs=setup.neighbor_proofs,
         validation_mode=setup.validation_mode,
         connectivity_cutoff=setup.connectivity_cutoff,
+        verification_cache=setup.verification_cache,
     )
 
 
@@ -146,6 +153,11 @@ class TrialResult:
     stats: TrafficStats
     ground_truth: GroundTruth | None
     rounds: int
+    #: Verification-cache counters (None when caching was disabled).
+    cache_stats: CacheStats | None = None
+    #: Rounds actually iterated; < ``rounds`` when the network went
+    #: quiescent early (sync backend only; None on the async backend).
+    rounds_executed: int | None = None
 
     @property
     def correct_verdicts(self) -> dict[NodeId, Any]:
@@ -204,6 +216,8 @@ def run_trial(
     with_ground_truth: bool = True,
     ground_truth_cutoff: int | None = None,
     loss_rate: float = 0.0,
+    verification_cache: bool | VerificationCache = True,
+    quiescence_skip: bool = True,
 ) -> TrialResult:
     """Run one complete trial.
 
@@ -228,6 +242,14 @@ def run_trial(
             The paper's model assumes reliable channels; this knob
             exists for the MtG loss-tolerance experiment (Sec. VI-A)
             and off-model exploration.
+        verification_cache: ``True`` (default) shares one
+            :class:`VerificationCache` across all honest NECTAR nodes
+            of the trial, ``False`` disables caching (the historical
+            uncached behaviour), or pass an instance to reuse/observe
+            one.  Equivalence-tested: verdicts and traffic are
+            identical either way (DESIGN.md §6.1).
+        quiescence_skip: forwardable switch for the sync scheduler's
+            quiescence short-circuit (DESIGN.md §6.2).
 
     Raises:
         ExperimentError: on inconsistent parameters.
@@ -245,6 +267,12 @@ def run_trial(
     if byzantine and isinstance(scheme, NullScheme):
         raise ExperimentError("NullScheme must not be used in adversarial runs")
     deployment = build_deployment(graph, scheme=scheme, seed=seed)
+    if verification_cache is True:
+        cache: VerificationCache | None = VerificationCache()
+    elif verification_cache is False:
+        cache = None
+    else:
+        cache = verification_cache
     protocols: dict[NodeId, RoundProtocol] = {}
     for node_id in graph.nodes():
         setup = NodeSetup(
@@ -258,11 +286,13 @@ def run_trial(
             neighbor_proofs=deployment.proofs_of(node_id),
             validation_mode=validation_mode,
             connectivity_cutoff=connectivity_cutoff,
+            verification_cache=cache,
         )
         factory = byzantine_factories.get(node_id, honest_factory)
         protocols[node_id] = factory(setup)
     if rounds is None:
         rounds = nectar_round_count(graph.n)
+    rounds_executed: int | None = None
     if backend == "sync":
         network = SyncNetwork(
             graph,
@@ -270,9 +300,11 @@ def run_trial(
             profile=profile,
             loss_rate=loss_rate,
             loss_seed=seed,
+            quiescence_skip=quiescence_skip,
         )
         verdicts = network.run(rounds)
         stats = network.stats
+        rounds_executed = network.rounds_executed
     elif backend == "async":
         if loss_rate > 0.0:
             raise ExperimentError("message loss is only modelled on the sync backend")
@@ -292,6 +324,8 @@ def run_trial(
         stats=stats,
         ground_truth=truth,
         rounds=rounds,
+        cache_stats=cache.stats if cache is not None else None,
+        rounds_executed=rounds_executed,
     )
 
 
@@ -300,21 +334,30 @@ def nectar_cost_trial(
     profile: WireProfile = DEFAULT_PROFILE,
     rounds: int | None = None,
     seed: int = 0,
+    validation_mode: ValidationMode = ValidationMode.ACCOUNTING,
 ) -> TrialResult:
     """Adversary-free NECTAR run tuned for cost sweeps (Figs. 3-7).
 
-    Uses the accounting scheme and validation mode: byte counts are
-    identical to a fully verified run, but no signature computation
-    happens, which keeps the n = 100 sweeps tractable.
+    By default uses the accounting scheme and validation mode: byte
+    counts are identical to a fully verified run, but no signature
+    computation happens, which keeps the n = 100 sweeps tractable.
+    Pass ``validation_mode=ValidationMode.FULL`` to pay for real HMAC
+    signatures end to end (byte accounting still comes from
+    ``profile`` and is unchanged); the shared verification cache keeps
+    that tractable too (DESIGN.md §6.1).
     """
+    if validation_mode is ValidationMode.ACCOUNTING:
+        scheme: SignatureScheme = NullScheme(signature_size=profile.signature_bytes)
+    else:
+        scheme = HmacScheme()
     return run_trial(
         graph,
         t=0,
         honest_factory=honest_nectar_factory,
         rounds=rounds,
-        scheme=NullScheme(signature_size=profile.signature_bytes),
+        scheme=scheme,
         profile=profile,
-        validation_mode=ValidationMode.ACCOUNTING,
+        validation_mode=validation_mode,
         connectivity_cutoff=1,
         seed=seed,
         with_ground_truth=False,

@@ -83,6 +83,10 @@ def vertex_connectivity(graph: Graph, cutoff: int | None = None) -> int:
         return 0 if cutoff is None else min(0, cutoff)
     if not graph.is_connected():
         return 0
+    if cutoff is not None and cutoff <= 1:
+        # Connected ⇒ κ >= 1, so the truncation is already decided
+        # without any max-flow work (the cost sweeps run cutoff=1).
+        return max(0, cutoff)
     if graph.edge_count == n * (n - 1) // 2:
         kappa = n - 1
         return kappa if cutoff is None else min(kappa, cutoff)

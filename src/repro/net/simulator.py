@@ -80,6 +80,17 @@ class SyncNetwork:
             flight (0.0 = the paper's reliable channels).  Dropped
             messages count as sent but not received.
         loss_seed: RNG seed for the loss process.
+        quiescence_skip: stop iterating once a round emits zero sends
+            (DESIGN.md §6.2).  A round without sends delivers nothing,
+            so under the round-protocol contract — sends after round 1
+            are a function of earlier deliveries only — every remaining
+            round is a no-op: skipping them preserves verdicts, byte
+            accounting, and (because no messages means no loss-RNG
+            draws) the exact lossy-channel drop set.  Disable for
+            protocols that emit spontaneously on a round-number
+            schedule after a silent round; no protocol in this
+            repository does (the always-gossiping baselines simply
+            never quiesce).
 
     Raises:
         ProtocolError: when the protocol map does not cover the graph
@@ -93,6 +104,7 @@ class SyncNetwork:
         profile: WireProfile = DEFAULT_PROFILE,
         loss_rate: float = 0.0,
         loss_seed: int = 0,
+        quiescence_skip: bool = True,
     ) -> None:
         if set(protocols) != set(graph.nodes()):
             raise ProtocolError("protocols must cover exactly the graph's nodes")
@@ -108,8 +120,17 @@ class SyncNetwork:
         self._profile = profile
         self._loss_rate = loss_rate
         self._loss_rng = random.Random(("channel-loss", loss_seed).__repr__())
+        self._quiescence_skip = quiescence_skip
         self.stats = TrafficStats()
+        #: rounds asked for / actually iterated by the last :meth:`run`.
+        self.rounds_requested = 0
+        self.rounds_executed = 0
         self._ran = False
+
+    @property
+    def rounds_skipped(self) -> int:
+        """Provably-no-op rounds elided by quiescence short-circuiting."""
+        return self.rounds_requested - self.rounds_executed
 
     def run(self, rounds: int) -> dict[NodeId, Any]:
         """Execute ``rounds`` synchronous rounds and collect verdicts.
@@ -127,10 +148,11 @@ class SyncNetwork:
         if rounds < 1:
             raise ProtocolError("at least one round is required")
         self._ran = True
+        self.rounds_requested = rounds
         node_order = sorted(self._protocols)
         for round_number in range(1, rounds + 1):
-            deliveries: list[Envelope] = []
-            destinations: list[NodeId] = []
+            self.rounds_executed = round_number
+            deliveries: list[tuple[Envelope, NodeId, int]] = []
             for node_id in node_order:
                 protocol = self._protocols[node_id]
                 for outgoing in protocol.begin_round(round_number):
@@ -142,20 +164,21 @@ class SyncNetwork:
                     )
                     size = envelope.wire_size(self._profile)
                     self.stats.record_send(node_id, size)
-                    deliveries.append(envelope)
-                    destinations.append(outgoing.destination)
+                    deliveries.append((envelope, outgoing.destination, size))
             # Synchrony: everything sent in this round arrives before
             # the next round starts (unless the lossy-channel mode
             # drops it).
-            for envelope, destination in zip(deliveries, destinations):
+            for envelope, destination, size in deliveries:
                 if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
                     continue
-                self.stats.record_receive(
-                    destination, envelope.wire_size(self._profile)
-                )
+                self.stats.record_receive(destination, size)
                 self._protocols[destination].deliver(
                     round_number, envelope.sender, envelope.payload
                 )
+            if self._quiescence_skip and not deliveries:
+                # Nothing was sent, so nothing was delivered; all
+                # remaining rounds are no-ops and can be elided.
+                break
         return {
             node_id: self._protocols[node_id].conclude() for node_id in node_order
         }
