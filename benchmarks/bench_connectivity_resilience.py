@@ -8,8 +8,13 @@ k-diamond and averages ~0.3 (CI [0, 1]) on the other families.
 from repro.experiments.figures import connectivity_resilience
 
 
-def test_connectivity_resilience(benchmark, archive):
-    figure = benchmark.pedantic(connectivity_resilience, rounds=1, iterations=1)
+def test_connectivity_resilience(benchmark, archive, sweep_workers):
+    figure = benchmark.pedantic(
+        connectivity_resilience,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
     archive(
         figure,
         "Sec. V-D — NECTAR 1.0 on all families; MtG 0.0 from t=2; "

@@ -13,8 +13,13 @@ part of the saving (see the deviation note in EXPERIMENTS.md).
 from repro.experiments.figures import topology_cost_comparison
 
 
-def test_topology_comparison(benchmark, archive):
-    figure = benchmark.pedantic(topology_cost_comparison, rounds=1, iterations=1)
+def test_topology_comparison(benchmark, archive, sweep_workers):
+    figure = benchmark.pedantic(
+        topology_cost_comparison,
+        kwargs={"workers": sweep_workers},
+        rounds=1,
+        iterations=1,
+    )
     archive(
         figure,
         "Sec. V-C — diamond/pasted ~2x cheaper, wheels ~2.5x cheaper "

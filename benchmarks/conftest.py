@@ -12,7 +12,9 @@ Run with::
     pytest benchmarks/ --workers 4                 # shard sweep trials
 
 ``--workers`` feeds the figure sweeps' parallel executor
-(:mod:`repro.experiments.parallel`); result rows are identical for any
+(:mod:`repro.experiments.parallel`); since the ExperimentSpec redesign
+*every* bench shards — including ``bench_connectivity_resilience`` and
+``bench_topology_comparison`` — and result rows are identical for any
 worker count, only the wall clock changes.
 """
 

@@ -1,55 +1,54 @@
 """Command-line interface.
 
-Four subcommands cover the everyday uses of the library::
+Five subcommands cover the everyday uses of the library::
 
     python -m repro check --family harary --n 20 --k 4 --t 1
     python -m repro check --drone --n 20 --distance 3.0 --radius 1.8 --t 2
-    python -m repro figure fig8
+    python -m repro figure fig8 --full --out out/
+    python -m repro sweep fig3 --set n=40 --set ks=2,4,6 --workers 4
     python -m repro topologies --n 24 --k 4
     python -m repro attack --n 21 --t 2
 
 ``check`` answers the operational question — is this deployment safe
 against t Byzantine nodes? — with NECTAR's verdict and the run's
-cost.  ``figure`` regenerates one paper artefact.  ``topologies``
-describes every built-in family.  ``attack`` replays the Fig. 8
-scenario once and prints who got fooled.
+cost.  ``figure`` regenerates one paper artefact.  ``sweep`` runs any
+registered figure with declarative axis overrides (``--set``) or a
+JSON spec file, persisting results keyed by a stable spec hash.
+``topologies`` describes every built-in family.  ``attack`` replays
+the Fig. 8 scenario once and prints who got fooled.
+
+Both ``figure`` and ``sweep`` are thin shells over the declarative
+spec registry (:data:`repro.experiments.spec.FIGURE_SPECS`): every
+figure id resolves to a :class:`~repro.experiments.spec.SweepSpec`
+whose capabilities — worker sharding, paper-scale presets, wire
+profiles — are data, not function-signature sniffing.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
-from typing import Callable, Sequence
+import json
+import pathlib
+from typing import Sequence
 
-from repro.experiments import figures as figures_module
-from repro.experiments.accuracy import success_rate
+from repro.errors import ExperimentError
+from repro.experiments.persistence import (
+    dump_figure_json,
+    save_figure,
+    spec_digest,
+)
 from repro.experiments.report import FigureData
 from repro.experiments.runner import run_trial
-from repro.experiments.scenarios import (
-    TOPOLOGY_FAMILIES,
-    bridged_partition_scenario,
-    build_topology,
+from repro.experiments.scenarios import TOPOLOGY_FAMILIES, build_topology
+from repro.experiments.spec import (
+    FIGURE_SPECS,
+    SWEEP_ENGINE,
+    ResolvedSweep,
+    attack_rates,
 )
 from repro.graphs.analysis import summarize
 from repro.graphs.generators.drone import drone_graph
 from repro.types import Decision
-
-#: figure name -> callable, mirroring DESIGN.md's experiment index.
-FIGURES: dict[str, Callable[[], FigureData]] = {
-    "fig3": figures_module.fig3_regular_cost,
-    "fig3-random": figures_module.fig3_random_regular,
-    "fig4": figures_module.fig4_drone_nectar,
-    "fig5": figures_module.fig5_drone_mtgv2,
-    "fig6": figures_module.fig6_drone_scaling_nectar,
-    "fig7": figures_module.fig7_drone_scaling_mtgv2,
-    "fig8": figures_module.fig8_byzantine_resilience,
-    "topology-comparison": figures_module.topology_cost_comparison,
-    "connectivity-resilience": figures_module.connectivity_resilience,
-    "ablation-rounds": figures_module.ablation_round_count,
-    "ablation-spam": figures_module.ablation_spam_dedup,
-    "ablation-batching": figures_module.ablation_batching,
-    "ablation-sigsize": figures_module.ablation_signature_size,
-}
 
 
 def _worker_count(value: str) -> int:
@@ -59,6 +58,46 @@ def _worker_count(value: str) -> int:
             f"worker count cannot be negative, got {count}"
         )
     return count
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``figure`` and ``sweep`` commands."""
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's scale (same as REPRO_FULL=1)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="AXIS=VALUE",
+        help=(
+            "override one sweep axis, e.g. --set n=40 --set ks=2,4,6; "
+            "repeatable (comma-separated values become sequences)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help=(
+            "persist the FigureData JSON; a directory (or trailing /) "
+            "stores a spec-hash-keyed file, anything else is the exact "
+            "output path"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help=(
+            "shard sweep trials over N worker processes; 0 means one per "
+            "CPU (default: the REPRO_WORKERS env var, else serial). "
+            "Results are identical for any worker count."
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,21 +124,50 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0)
 
     figure = commands.add_parser("figure", help="regenerate one paper artefact")
-    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("name", choices=sorted(FIGURE_SPECS))
     figure.add_argument(
         "--spark", action="store_true", help="also print unicode sparklines"
     )
-    figure.add_argument(
-        "--workers",
-        type=_worker_count,
-        default=None,
-        metavar="N",
+    _add_sweep_options(figure)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a registered sweep with axis overrides or a JSON spec file",
+    )
+    sweep.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(FIGURE_SPECS),
+        help="figure id (omit when using --spec or --list)",
+    )
+    sweep.add_argument(
+        "--spec",
+        metavar="FILE",
         help=(
-            "shard sweep trials over N worker processes; 0 means one per "
-            "CPU (default: the REPRO_WORKERS env var, else serial). "
-            "Results are identical for any worker count."
+            'JSON spec file: {"figure": id, "scale": "reduced"|"paper", '
+            '"set": {axis: value, ...}, "seed_mode": "index"|"hashed", '
+            '"base_seed": int}'
         ),
     )
+    sweep.add_argument(
+        "--list", action="store_true", help="list registered sweeps and exit"
+    )
+    sweep.add_argument(
+        "--seed-mode",
+        choices=("index", "hashed"),
+        default=None,
+        help=(
+            "per-trial seed policy: index (trial number, the pinned "
+            "default) or hashed (independent seeds via trial_seeds)"
+        ),
+    )
+    sweep.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="base seed for --seed-mode hashed (default 0)",
+    )
+    _add_sweep_options(sweep)
 
     drone_map = commands.add_parser(
         "map", help="render a drone deployment as an ASCII map"
@@ -145,22 +213,164 @@ def _run_check(args: argparse.Namespace) -> int:
     return 0 if verdict.decision is Decision.NOT_PARTITIONABLE else 1
 
 
-def _run_figure(args: argparse.Namespace) -> int:
-    function = FIGURES[args.name]
-    kwargs = {}
-    # The ablations run serially by design; pass workers only to the
-    # sweeps that shard their trials.
-    if "workers" in inspect.signature(function).parameters:
-        kwargs["workers"] = args.workers
-    elif args.workers is not None:
-        print(f"note: {args.name} runs serially; --workers ignored")
-    figure = function(**kwargs)
+# ----------------------------------------------------------------------
+# figure / sweep: the declarative path
+# ----------------------------------------------------------------------
+def _parse_scalar(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axis_value(text: str):
+    """Parse one ``--set`` value into scalars (comma means sequence).
+
+    Type shaping — wrapping bare scalars for sequence axes, floating
+    ints on float axes — happens in ``SweepEngine.resolve``, so text
+    input, wrapper kwargs and JSON spec files all canonicalise to the
+    same resolved params (and the same spec digest).
+    """
+    if "," in text:
+        return tuple(
+            _parse_scalar(item) for item in text.split(",") if item != ""
+        )
+    return _parse_scalar(text)
+
+
+def _parse_overrides(entries: Sequence[str]) -> dict:
+    overrides = {}
+    for entry in entries:
+        name, separator, text = entry.partition("=")
+        if not separator:
+            raise ExperimentError(
+                f"--set expects AXIS=VALUE, got {entry!r}"
+            )
+        overrides[name] = _parse_axis_value(text)
+    return overrides
+
+
+def _persist(figure: FigureData, resolved: ResolvedSweep, out: str) -> pathlib.Path:
+    """Write the figure JSON per the --out convention."""
+    target = pathlib.Path(out)
+    if out.endswith(("/", "\\")) or target.is_dir():
+        return save_figure(figure, target, spec=resolved.payload())
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dump_figure_json(figure, spec=resolved.payload()))
+    return target
+
+
+def _render_figure(figure: FigureData, spark: bool = False) -> None:
     print(figure.render())
-    if args.spark:
+    if spark:
         from repro.viz import figure_sparklines
 
         print()
         print(figure_sparklines(figure))
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    spec = FIGURE_SPECS[args.name]
+    if args.full and "paper-scale" not in spec.capabilities:
+        print(f"note: {args.name} has no paper-scale preset; standard parameters")
+    resolved = SWEEP_ENGINE.resolve(
+        spec,
+        scale="paper" if args.full else "auto",
+        overrides=_parse_overrides(args.overrides),
+    )
+    figure = SWEEP_ENGINE.run(resolved, workers=args.workers)
+    _render_figure(figure, spark=args.spark)
+    if args.out:
+        print(f"saved: {_persist(figure, resolved, args.out)}")
+    return 0
+
+
+_SPEC_FILE_KEYS = frozenset({"figure", "scale", "set", "seed_mode", "base_seed"})
+
+
+def _load_spec_file(path: str) -> dict:
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot read spec file {path}: {exc}")
+    if not isinstance(payload, dict) or "figure" not in payload:
+        raise ExperimentError(
+            f'spec file {path} must be a JSON object with a "figure" key'
+        )
+    if payload["figure"] not in FIGURE_SPECS:
+        raise ExperimentError(
+            f"spec file {path}: unknown figure {payload['figure']!r}; "
+            f"known: {sorted(FIGURE_SPECS)}"
+        )
+    unknown = set(payload) - _SPEC_FILE_KEYS
+    if unknown:
+        raise ExperimentError(
+            f"spec file {path}: unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(_SPEC_FILE_KEYS)}"
+        )
+    if "set" in payload and not isinstance(payload["set"], dict):
+        raise ExperimentError(
+            f'spec file {path}: "set" must be an object of axis overrides'
+        )
+    if "base_seed" in payload and not isinstance(payload["base_seed"], int):
+        raise ExperimentError(f'spec file {path}: "base_seed" must be an integer')
+    return payload
+
+
+def _list_sweeps() -> int:
+    print("registered sweeps (repro sweep <id> --set axis=value ...):")
+    for figure_id in sorted(FIGURE_SPECS):
+        spec = FIGURE_SPECS[figure_id]
+        axes = " ".join(axis.name for axis in spec.axes)
+        capabilities = ",".join(sorted(spec.capabilities))
+        print(f"  {figure_id:<24} {spec.title}")
+        print(f"  {'':<24} axes: {axes}  capabilities: {capabilities}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        return _list_sweeps()
+    file_payload: dict = {}
+    if args.spec:
+        file_payload = _load_spec_file(args.spec)
+    name = args.name or file_payload.get("figure")
+    if name is None:
+        print("error: pass a figure id, --spec FILE, or --list")
+        return 2
+    if args.spec and args.name and args.name != file_payload["figure"]:
+        print(
+            f"error: figure id {args.name!r} conflicts with spec file "
+            f"({file_payload['figure']!r})"
+        )
+        return 2
+    overrides = dict(file_payload.get("set") or {})
+    overrides.update(_parse_overrides(args.overrides))
+    if args.full:
+        scale = "paper"
+    else:
+        scale = file_payload.get("scale", "auto")
+    seed_mode = args.seed_mode or file_payload.get("seed_mode")
+    base_seed = (
+        args.base_seed
+        if args.base_seed is not None
+        else int(file_payload.get("base_seed", 0))
+    )
+    resolved = SWEEP_ENGINE.resolve(
+        name,
+        scale=scale,
+        overrides=overrides,
+        seed_mode=seed_mode,
+        base_seed=base_seed,
+    )
+    print(f"sweep : {name} ({resolved.scale} scale, seeds={resolved.seed_mode})")
+    print(f"spec  : {spec_digest(resolved.payload())[:12]}")
+    figure = SWEEP_ENGINE.run(resolved, workers=args.workers)
+    _render_figure(figure)
+    if args.out:
+        print(f"saved: {_persist(figure, resolved, args.out)}")
     return 0
 
 
@@ -194,17 +404,14 @@ def _run_topologies(args: argparse.Namespace) -> int:
 
 
 def _run_attack(args: argparse.Namespace) -> int:
-    scenario = bridged_partition_scenario(args.n, args.t, seed=args.seed)
-    rate = figures_module._nectar_attack_rate(scenario, seed=args.seed)
+    rates = attack_rates(args.n, args.t, radius=1.2, seed=args.seed)
     print(
         f"bridge attack: n={args.n}, t={args.t} two-faced bridges "
         f"between two islands"
     )
-    print(f"NECTAR success rate: {rate:.0%}")
-    mtgv2 = figures_module._mtgv2_attack_rate(scenario, seed=args.seed)
-    print(f"MtGv2 success rate : {mtgv2:.0%}")
-    mtg = figures_module._mtg_attack_rate(args.n, args.t, 1.2, seed=args.seed)
-    print(f"MtG success rate   : {mtg:.0%}")
+    print(f"NECTAR success rate: {rates['nectar']:.0%}")
+    print(f"MtGv2 success rate : {rates['mtgv2']:.0%}")
+    print(f"MtG success rate   : {rates['mtg']:.0%}")
     return 0
 
 
@@ -214,8 +421,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "check": _run_check,
         "figure": _run_figure,
+        "sweep": _run_sweep,
         "map": _run_map,
         "topologies": _run_topologies,
         "attack": _run_attack,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ExperimentError as exc:
+        print(f"error: {exc}")
+        return 2

@@ -1,107 +1,69 @@
-"""One function per reproduced figure/table (see DESIGN.md §3).
+"""One function per reproduced figure/table (see DESIGN.md §3, §7).
 
 Every function returns a :class:`repro.experiments.report.FigureData`
-whose series mirror the paper's curves.  Parameters default to a
-*reduced* scale so the whole benchmark suite runs in minutes; setting
-the environment variable ``REPRO_FULL=1`` switches to the paper's
-scale (n up to 100, 50 trials).  EXPERIMENTS.md records both scales
-against the paper's numbers.
+whose series mirror the paper's curves.  Since the ExperimentSpec
+redesign these are *thin wrappers* over the declarative registry in
+:mod:`repro.experiments.spec` — each call resolves the figure's
+:class:`~repro.experiments.spec.SweepSpec` against the requested axis
+overrides and runs it through the shared
+:class:`~repro.experiments.spec.SweepEngine`.  The golden-row suite in
+``tests/test_spec.py`` pins their output bit-identical to the
+pre-spec implementations.
 
-The sweep functions accept a ``workers`` argument (also reachable via
+Parameters default to a *reduced* scale so the whole benchmark suite
+runs in minutes; setting the environment variable ``REPRO_FULL=1`` (or
+passing ``--full`` on the CLI) switches to the paper's scale (n up to
+100, 50 trials).  EXPERIMENTS.md records both scales against the
+paper's numbers.
+
+Every figure accepts a ``workers`` argument (also reachable via
 ``REPRO_WORKERS`` and the CLI's ``--workers``) that shards trial cells
 over worker processes through
-:func:`repro.experiments.parallel.parallel_map`.  Every cell derives
-all of its randomness from explicit seeds in its argument tuple, so
+:func:`repro.experiments.parallel.parallel_map` — including
+``connectivity_resilience`` and ``topology_cost_comparison``, which
+used to run serially.  Every cell derives all of its randomness from
+explicit seeds in its :class:`~repro.experiments.spec.TrialSpec`, so
 serial and parallel runs produce identical rows for any worker count —
-``tests/test_parallel.py`` pins this.
+``tests/test_parallel.py`` and ``tests/test_spec.py`` pin this.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Sequence
 
-from repro.adversary.behaviors import (
-    SaturatingMtgNode,
-    SpamNectarNode,
-    TwoFacedMtgv2Node,
-    TwoFacedNectarNode,
-)
-from repro.adversary.placement import balanced_placement
-from repro.baselines.mtg import MtgNode
-from repro.core.decision import clear_connectivity_cache
-from repro.core.nectar import NectarNode
-from repro.core.validation import ValidationMode
-from repro.crypto.signer import NullScheme
-from repro.crypto.sizes import COMPACT_PROFILE, DEFAULT_PROFILE, PAYLOAD_PROFILE
-from repro.errors import ExperimentError
-from repro.experiments.accuracy import success_rate
-from repro.experiments.parallel import parallel_map
+from repro.crypto.sizes import DEFAULT_PROFILE
 from repro.experiments.report import FigureData
-from repro.experiments.runner import (
-    NodeSetup,
-    baseline_cost_trial,
-    honest_mtg_factory,
-    honest_mtgv2_factory,
-    honest_nectar_factory,
-    nectar_cost_trial,
-    run_trial,
+from repro.experiments.spec import (
+    SWEEP_ENGINE,
+    attack_rates,
+    paper_scale,
 )
-from repro.experiments.scenarios import (
-    PARTITIONED_DRONE_DISTANCE,
-    BridgedPartitionScenario,
-    bridged_partition_scenario,
-    build_topology,
-    split_topology_scenario,
-)
-from repro.graphs.analysis import diameter
-from repro.graphs.generators.drone import drone_graph
-from repro.graphs.generators.regular import harary_graph, random_regular_graph
+
+__all__ = [
+    "ablation_batching",
+    "ablation_round_count",
+    "ablation_signature_size",
+    "ablation_spam_dedup",
+    "attack_rates",
+    "connectivity_resilience",
+    "fig3_random_regular",
+    "fig3_regular_cost",
+    "fig4_drone_nectar",
+    "fig5_drone_mtgv2",
+    "fig6_drone_scaling_nectar",
+    "fig7_drone_scaling_mtgv2",
+    "fig8_byzantine_resilience",
+    "paper_scale",
+    "topology_cost_comparison",
+]
 
 
-def paper_scale() -> bool:
-    """Whether paper-scale sweeps were requested (REPRO_FULL=1)."""
-    return os.environ.get("REPRO_FULL", "") == "1"
-
-
-def _scale_note(figure: FigureData) -> None:
-    if paper_scale():
-        figure.notes.append("paper-scale run (REPRO_FULL=1)")
-    else:
-        figure.notes.append("reduced scale; set REPRO_FULL=1 for paper scale")
-
-
-# ----------------------------------------------------------------------
-# Picklable sweep cells (module level so worker processes can import
-# them); each is one self-contained trial, seeded by its arguments.
-# ----------------------------------------------------------------------
-def _harary_cost_cell(args) -> float:
-    n, k, profile = args
-    return nectar_cost_trial(harary_graph(k, n), profile=profile).mean_kb_sent()
-
-
-def _random_regular_cost_cell(args) -> float:
-    n, k, trial, profile = args
-    graph = random_regular_graph(n, k, seed=trial)
-    return nectar_cost_trial(graph, profile=profile).mean_kb_sent()
-
-
-def _drone_cost_cell(args) -> float:
-    protocol, n, d, radius, trial = args
-    graph = drone_graph(n, d, radius, seed=trial)
-    if protocol == "nectar":
-        return nectar_cost_trial(graph).mean_kb_sent()
-    return baseline_cost_trial(graph, protocol).mean_kb_sent()
-
-
-def _fig8_cell(args) -> tuple[float, float, float]:
-    n, t, radius, trial = args
-    clear_connectivity_cache()
-    scenario = bridged_partition_scenario(n, t, radius=radius, seed=trial)
-    return (
-        _nectar_attack_rate(scenario, seed=trial),
-        _mtgv2_attack_rate(scenario, seed=trial),
-        _mtg_attack_rate(n, t, radius, seed=trial),
+def _run(figure_id: str, overrides: dict, workers: int | None = None) -> FigureData:
+    """Run one registered figure, dropping unset (None) overrides."""
+    return SWEEP_ENGINE.run(
+        figure_id,
+        overrides={k: v for k, v in overrides.items() if v is not None},
+        workers=workers,
     )
 
 
@@ -124,29 +86,9 @@ def fig3_regular_cost(
             :data:`repro.crypto.sizes.PAYLOAD_PROFILE` to reproduce
             the paper's signature-free absolute byte counts.
     """
-    if ns is None:
-        ns = (20, 40, 60, 80, 100) if paper_scale() else (10, 20, 30)
-    if ks is None:
-        ks = (2, 10, 18, 26, 34) if paper_scale() else (2, 6, 10)
-    figure = FigureData(
-        figure_id=f"fig3-{profile.name}" if profile is not DEFAULT_PROFILE else "fig3",
-        title=(
-            "NECTAR data sent per node, k-regular k-connected graphs "
-            f"({profile.name} profile)"
-        ),
-        x_label="n",
-        y_label="KB sent per node",
+    return _run(
+        "fig3", {"ns": ns, "ks": ks, "profile": profile}, workers=workers
     )
-    _scale_note(figure)
-    cells = [(n, k, profile) for k in ks for n in ns if k < n]
-    values = iter(parallel_map(_harary_cost_cell, cells, workers=workers))
-    for k in ks:
-        series = figure.series_named(f"Nectar: k = {k}")
-        for n in ns:
-            if k >= n:
-                continue
-            series.add(n, [next(values)])
-    return figure
 
 
 def fig3_random_regular(
@@ -162,37 +104,11 @@ def fig3_random_regular(
     :func:`fig3_regular_cost` is the deterministic (Harary) variant;
     this one restores the sampling noise behind the paper's error bars.
     """
-    if ns is None:
-        ns = (20, 40, 60, 80, 100) if paper_scale() else (10, 20, 30)
-    if ks is None:
-        ks = (2, 10, 18, 26, 34) if paper_scale() else (2, 6, 10)
-    if trials is None:
-        trials = 50 if paper_scale() else 3
-    figure = FigureData(
-        figure_id="fig3-random",
-        title=(
-            "NECTAR data sent per node, random k-regular graphs "
-            f"({profile.name} profile, {trials} trials)"
-        ),
-        x_label="n",
-        y_label="KB sent per node",
+    return _run(
+        "fig3-random",
+        {"ns": ns, "ks": ks, "trials": trials, "profile": profile},
+        workers=workers,
     )
-    _scale_note(figure)
-    cells = [
-        (n, k, trial, profile)
-        for k in ks
-        for n in ns
-        if k < n and (n * k) % 2 == 0
-        for trial in range(trials)
-    ]
-    values = iter(parallel_map(_random_regular_cost_cell, cells, workers=workers))
-    for k in ks:
-        series = figure.series_named(f"Nectar: k = {k}")
-        for n in ns:
-            if k >= n or (n * k) % 2 != 0:
-                continue
-            series.add(n, [next(values) for _ in range(trials)])
-    return figure
 
 
 # ----------------------------------------------------------------------
@@ -202,55 +118,16 @@ def topology_cost_comparison(
     n: int | None = None,
     k: int | None = None,
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """NECTAR cost per topology family, normalised to k-regular.
 
     The paper reports k-diamond and k-pasted-tree around 2x cheaper
     and the wheels around 2.5x cheaper than k-regular graphs.
     """
-    if n is None:
-        n = 60 if paper_scale() else 30
-    if k is None:
-        k = 10 if paper_scale() else 6
-    if trials is None:
-        trials = 5 if paper_scale() else 2
-    figure = FigureData(
-        figure_id="topology-comparison",
-        title=f"NECTAR cost by topology family (n={n}, k={k})",
-        x_label="family#",
-        y_label="KB sent per node (and ratio vs k-regular)",
+    return _run(
+        "topology-comparison", {"n": n, "k": k, "trials": trials}, workers=workers
     )
-    _scale_note(figure)
-    families = [
-        "k-regular",
-        "harary",
-        "k-pasted-tree",
-        "k-diamond",
-        "generalized-wheel",
-        "multipartite-wheel",
-    ]
-    means: dict[str, float] = {}
-    for index, family in enumerate(families):
-        series = figure.series_named(family)
-        samples = []
-        for trial in range(trials):
-            try:
-                graph = build_topology(family, n, k, seed=trial)
-            except ExperimentError as exc:
-                figure.notes.append(f"{family}: skipped ({exc})")
-                break
-            samples.append(nectar_cost_trial(graph).mean_kb_sent())
-        if samples:
-            point = series.add(index, samples)
-            means[family] = point.mean
-    if "k-regular" in means:
-        base = means["k-regular"]
-        for family, mean in means.items():
-            if family != "k-regular" and mean > 0:
-                figure.notes.append(
-                    f"{family}: {base / mean:.2f}x cheaper than k-regular"
-                )
-    return figure
 
 
 # ----------------------------------------------------------------------
@@ -264,36 +141,11 @@ def fig4_drone_nectar(
     workers: int | None = None,
 ) -> FigureData:
     """NECTAR (and flat MtG) cost vs barycenter distance (Fig. 4)."""
-    if distances is None:
-        distances = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
-    if trials is None:
-        trials = 50 if paper_scale() else 3
-    figure = FigureData(
-        figure_id="fig4",
-        title=f"Drone scenario, data sent per node (n={n})",
-        x_label="d",
-        y_label="KB sent per node",
+    return _run(
+        "fig4",
+        {"distances": distances, "radii": radii, "n": n, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    cells = [
-        ("nectar", n, d, radius, trial)
-        for radius in radii
-        for d in distances
-        for trial in range(trials)
-    ] + [
-        ("mtg", n, d, 1.8, trial)
-        for d in distances
-        for trial in range(trials)
-    ]
-    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
-    for radius in radii:
-        series = figure.series_named(f"Nectar: radius = {radius}")
-        for d in distances:
-            series.add(d, [next(values) for _ in range(trials)])
-    mtg_series = figure.series_named("MtG")
-    for d in distances:
-        mtg_series.add(d, [next(values) for _ in range(trials)])
-    return figure
 
 
 def fig5_drone_mtgv2(
@@ -304,36 +156,11 @@ def fig5_drone_mtgv2(
     workers: int | None = None,
 ) -> FigureData:
     """MtGv2 (and flat MtG) cost vs barycenter distance (Fig. 5)."""
-    if distances is None:
-        distances = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
-    if trials is None:
-        trials = 50 if paper_scale() else 3
-    figure = FigureData(
-        figure_id="fig5",
-        title=f"Drone scenario, MtGv2 data sent per node (n={n})",
-        x_label="d",
-        y_label="KB sent per node",
+    return _run(
+        "fig5",
+        {"distances": distances, "radii": radii, "n": n, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    cells = [
-        ("mtgv2", n, d, radius, trial)
-        for radius in radii
-        for d in distances
-        for trial in range(trials)
-    ] + [
-        ("mtg", n, d, 1.8, trial)
-        for d in distances
-        for trial in range(trials)
-    ]
-    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
-    for radius in radii:
-        series = figure.series_named(f"MtGv2: radius = {radius}")
-        for d in distances:
-            series.add(d, [next(values) for _ in range(trials)])
-    mtg_series = figure.series_named("MtG")
-    for d in distances:
-        mtg_series.add(d, [next(values) for _ in range(trials)])
-    return figure
 
 
 def fig6_drone_scaling_nectar(
@@ -344,36 +171,11 @@ def fig6_drone_scaling_nectar(
     workers: int | None = None,
 ) -> FigureData:
     """NECTAR cost vs n in the drone scenario (Fig. 6)."""
-    if ns is None:
-        ns = (10, 20, 30, 40, 50) if paper_scale() else (10, 20, 30)
-    if trials is None:
-        trials = 50 if paper_scale() else 2
-    figure = FigureData(
-        figure_id="fig6",
-        title=f"Drone scenario, NECTAR data sent per node (radius={radius})",
-        x_label="n",
-        y_label="KB sent per node",
+    return _run(
+        "fig6",
+        {"ns": ns, "distances": distances, "radius": radius, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    cells = [
-        ("nectar", n, d, radius, trial)
-        for d in distances
-        for n in ns
-        for trial in range(trials)
-    ] + [
-        ("mtg", n, 2.5, radius, trial)
-        for n in ns
-        for trial in range(trials)
-    ]
-    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
-    for d in distances:
-        series = figure.series_named(f"Nectar: d = {d}")
-        for n in ns:
-            series.add(n, [next(values) for _ in range(trials)])
-    mtg_series = figure.series_named("MtG")
-    for n in ns:
-        mtg_series.add(n, [next(values) for _ in range(trials)])
-    return figure
 
 
 def fig7_drone_scaling_mtgv2(
@@ -384,120 +186,16 @@ def fig7_drone_scaling_mtgv2(
     workers: int | None = None,
 ) -> FigureData:
     """MtGv2 cost vs n in the drone scenario (Fig. 7)."""
-    if ns is None:
-        ns = (10, 20, 30, 40, 50) if paper_scale() else (10, 20, 30)
-    if trials is None:
-        trials = 50 if paper_scale() else 2
-    figure = FigureData(
-        figure_id="fig7",
-        title=f"Drone scenario, MtGv2 data sent per node (radius={radius})",
-        x_label="n",
-        y_label="KB sent per node",
+    return _run(
+        "fig7",
+        {"ns": ns, "distances": distances, "radius": radius, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    cells = [
-        ("mtgv2", n, d, radius, trial)
-        for d in distances
-        for n in ns
-        for trial in range(trials)
-    ] + [
-        ("mtg", n, 2.5, radius, trial)
-        for n in ns
-        for trial in range(trials)
-    ]
-    values = iter(parallel_map(_drone_cost_cell, cells, workers=workers))
-    for d in distances:
-        series = figure.series_named(f"MtGv2: d = {d}")
-        for n in ns:
-            series.add(n, [next(values) for _ in range(trials)])
-    mtg_series = figure.series_named("MtG")
-    for n in ns:
-        mtg_series.add(n, [next(values) for _ in range(trials)])
-    return figure
 
 
 # ----------------------------------------------------------------------
 # Fig. 8 — Byzantine resilience (decision success rate)
 # ----------------------------------------------------------------------
-def _nectar_attack_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
-    """Success rate of NECTAR under the two-faced bridge attack."""
-    t = scenario.t
-
-    def factory(setup: NodeSetup):
-        return TwoFacedNectarNode(
-            setup.node_id,
-            setup.n,
-            setup.t,
-            setup.key_store.key_pair_of(setup.node_id),
-            setup.scheme,
-            setup.key_store.directory,
-            setup.neighbor_proofs,
-            silent_towards=scenario.silent_towards_of(setup.node_id),
-        )
-
-    result = run_trial(
-        scenario.graph,
-        t=t,
-        byzantine_factories={b: factory for b in scenario.byzantine},
-        honest_factory=honest_nectar_factory,
-        connectivity_cutoff=t + 1,
-        seed=seed,
-        ground_truth_cutoff=2 * t + 1,
-    )
-    return success_rate(result.correct_verdicts, result.ground_truth)
-
-
-def _mtgv2_attack_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
-    """Success rate of MtGv2 under the two-faced bridge attack."""
-
-    def factory(setup: NodeSetup):
-        return TwoFacedMtgv2Node(
-            setup.node_id,
-            setup.n,
-            setup.neighbors,
-            setup.key_store.key_pair_of(setup.node_id),
-            setup.scheme,
-            setup.key_store.directory,
-            silent_towards=scenario.silent_towards_of(setup.node_id),
-        )
-
-    result = run_trial(
-        scenario.graph,
-        t=scenario.t,
-        byzantine_factories={b: factory for b in scenario.byzantine},
-        honest_factory=honest_mtgv2_factory,
-        seed=seed,
-        ground_truth_cutoff=2 * scenario.t + 1,
-    )
-    return success_rate(result.correct_verdicts, result.ground_truth)
-
-
-def _mtg_attack_rate(n: int, t: int, radius: float, seed: int) -> float:
-    """Success rate of MtG under the filter-saturation attack.
-
-    Setup of Sec. V-D: a graph partitioned into two parts, Byzantine
-    nodes equally distributed between the parts, gossiping saturated
-    filters.
-    """
-    graph = drone_graph(n, PARTITIONED_DRONE_DISTANCE, radius, seed=seed)
-    left = [v for v in range(n // 2)]
-    right = [v for v in range(n // 2, n)]
-    byzantine = balanced_placement([left, right], t, seed=seed)
-
-    def factory(setup: NodeSetup) -> MtgNode:
-        return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
-
-    result = run_trial(
-        graph,
-        t=t,
-        byzantine_factories={b: factory for b in byzantine},
-        honest_factory=honest_mtg_factory,
-        seed=seed,
-        ground_truth_cutoff=2 * t + 1,
-    )
-    return success_rate(result.correct_verdicts, result.ground_truth)
-
-
 def fig8_byzantine_resilience(
     n: int = 35,
     ts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
@@ -506,26 +204,10 @@ def fig8_byzantine_resilience(
     workers: int | None = None,
 ) -> FigureData:
     """Decision success rate vs number of Byzantine nodes (Fig. 8)."""
-    if trials is None:
-        trials = 50 if paper_scale() else 5
-    figure = FigureData(
-        figure_id="fig8",
-        title=f"Decision success rate under attack (drone scenario, n={n})",
-        x_label="t",
-        y_label="success rate of correct decision",
+    return _run(
+        "fig8", {"n": n, "ts": ts, "radius": radius, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    nectar_series = figure.series_named("Nectar (ours)")
-    mtg_series = figure.series_named("MtG")
-    mtgv2_series = figure.series_named("MtGv2")
-    cells = [(n, t, radius, trial) for t in ts for trial in range(trials)]
-    values = iter(parallel_map(_fig8_cell, cells, workers=workers))
-    for t in ts:
-        rates = [next(values) for _ in range(trials)]
-        nectar_series.add(t, [r[0] for r in rates])
-        mtgv2_series.add(t, [r[1] for r in rates])
-        mtg_series.add(t, [r[2] for r in rates])
-    return figure
 
 
 # ----------------------------------------------------------------------
@@ -543,191 +225,50 @@ def connectivity_resilience(
     k: int | None = None,
     ts: Sequence[int] = (1, 2, 3, 4),
     trials: int | None = None,
+    workers: int | None = None,
 ) -> FigureData:
     """Success rates per topology family under the Sec. V-D attacks.
 
     NECTAR and MtGv2 face the two-faced split attack; MtG faces
     saturation with balanced Byzantine placement over the two halves.
     """
-    if n is None:
-        n = 40 if paper_scale() else 24
-    if k is None:
-        k = 6
-    if trials is None:
-        trials = 20 if paper_scale() else 3
-    figure = FigureData(
-        figure_id="connectivity-resilience",
-        title=f"Success rate by topology family (n={n}, k={k})",
-        x_label="t",
-        y_label="success rate of correct decision",
+    return _run(
+        "connectivity-resilience",
+        {"families": families, "n": n, "k": k, "ts": ts, "trials": trials},
+        workers=workers,
     )
-    _scale_note(figure)
-    for family in families:
-        for t in ts:
-            nectar_samples = []
-            mtgv2_samples = []
-            mtg_samples = []
-            for trial in range(trials):
-                clear_connectivity_cache()
-                try:
-                    scenario = split_topology_scenario(family, n, t, k, seed=trial)
-                except ExperimentError as exc:
-                    figure.notes.append(f"{family} t={t}: skipped ({exc})")
-                    break
-                nectar_samples.append(_nectar_attack_rate(scenario, seed=trial))
-                mtgv2_samples.append(_mtgv2_attack_rate(scenario, seed=trial))
-                mtg_samples.append(
-                    _mtg_saturation_on_split(scenario, seed=trial)
-                )
-            if nectar_samples:
-                figure.series_named(f"Nectar [{family}]").add(t, nectar_samples)
-                figure.series_named(f"MtGv2 [{family}]").add(t, mtgv2_samples)
-                figure.series_named(f"MtG [{family}]").add(t, mtg_samples)
-    return figure
-
-
-def _mtg_saturation_on_split(
-    scenario: BridgedPartitionScenario, seed: int
-) -> float:
-    """MtG saturation attack on a split-topology scenario.
-
-    The Byzantine bridges gossip saturated filters to both halves
-    (they have channels into both), poisoning every correct node they
-    can reach.
-    """
-
-    def factory(setup: NodeSetup) -> MtgNode:
-        return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
-
-    result = run_trial(
-        scenario.graph,
-        t=scenario.t,
-        byzantine_factories={b: factory for b in scenario.byzantine},
-        honest_factory=honest_mtg_factory,
-        seed=seed,
-        ground_truth_cutoff=2 * scenario.t + 1,
-    )
-    return success_rate(result.correct_verdicts, result.ground_truth)
 
 
 # ----------------------------------------------------------------------
 # Ablations (DESIGN.md §5)
 # ----------------------------------------------------------------------
-def ablation_round_count(n: int = 24, k: int = 4) -> FigureData:
+def ablation_round_count(
+    n: int = 24, k: int = 4, workers: int | None = None
+) -> FigureData:
     """Cost at R = n-1 vs diameter-bounded R (DESIGN.md §5.1).
 
     The paper argues extra rounds are free because nodes go silent
     once every edge is known; this measures it.
     """
-    graph = harary_graph(k, n)
-    diam = diameter(graph)
-    if diam is None:  # pragma: no cover - Harary graphs are connected
-        raise ExperimentError("disconnected topology in the rounds ablation")
-    figure = FigureData(
-        figure_id="ablation-rounds",
-        title=f"NECTAR cost vs round budget (Harary k={k}, n={n}, diam={diam})",
-        x_label="rounds",
-        y_label="KB sent per node",
-    )
-    series = figure.series_named("Nectar")
-    for rounds in sorted({diam, diam + 1, (n - 1 + diam) // 2, n - 1}):
-        result = nectar_cost_trial(graph, rounds=rounds)
-        series.add(rounds, [result.mean_kb_sent()])
-    figure.notes.append(
-        "cost is flat beyond the diameter: correct nodes go silent"
-    )
-    return figure
+    return _run("ablation-rounds", {"n": n, "k": k}, workers=workers)
 
 
-def ablation_spam_dedup(n: int = 20, k: int = 4) -> FigureData:
+def ablation_spam_dedup(
+    n: int = 20, k: int = 4, workers: int | None = None
+) -> FigureData:
     """Traffic with and without an announcement-spamming Byzantine node."""
-    graph = harary_graph(k, n)
-    figure = FigureData(
-        figure_id="ablation-spam",
-        title=f"Announcement spam vs dedup (Harary k={k}, n={n})",
-        x_label="spammers",
-        y_label="KB sent per node (correct nodes only)",
-    )
-    series = figure.series_named("Nectar under spam")
-    for spammers in (0, 1, 2):
-        byzantine = {}
-        for b in range(spammers):
-            def factory(setup: NodeSetup, _b=b):
-                return SpamNectarNode(
-                    setup.node_id,
-                    setup.n,
-                    setup.t,
-                    setup.key_store.key_pair_of(setup.node_id),
-                    setup.scheme,
-                    setup.key_store.directory,
-                    setup.neighbor_proofs,
-                )
-            byzantine[b] = factory
-        result = run_trial(
-            graph,
-            t=max(1, spammers),
-            byzantine_factories=byzantine,
-            connectivity_cutoff=max(1, spammers) + 1,
-            with_ground_truth=False,
-        )
-        correct = [v for v in graph.nodes() if v not in result.byzantine]
-        series.add(spammers, [result.stats.mean_kb_sent(correct)])
-    figure.notes.append(
-        "dedup caps the damage: correct-node traffic stays flat because "
-        "duplicates are dropped before relay"
-    )
-    return figure
+    return _run("ablation-spam", {"n": n, "k": k}, workers=workers)
 
 
-def ablation_batching(n: int = 20, k: int = 4) -> FigureData:
+def ablation_batching(
+    n: int = 20, k: int = 4, workers: int | None = None
+) -> FigureData:
     """Batched per-round envelopes vs one message per announcement."""
-    graph = harary_graph(k, n)
-    figure = FigureData(
-        figure_id="ablation-batching",
-        title=f"Envelope batching (Harary k={k}, n={n})",
-        x_label="batched",
-        y_label="KB sent per node",
-    )
-    series = figure.series_named("Nectar")
-    for index, batching in enumerate((True, False)):
-        def factory(setup: NodeSetup, _batching=batching):
-            return NectarNode(
-                setup.node_id,
-                setup.n,
-                setup.t,
-                setup.key_store.key_pair_of(setup.node_id),
-                setup.scheme,
-                setup.key_store.directory,
-                setup.neighbor_proofs,
-                validation_mode=ValidationMode.ACCOUNTING,
-                connectivity_cutoff=1,
-                batching=_batching,
-            )
-
-        result = run_trial(
-            graph,
-            t=0,
-            honest_factory=factory,
-            scheme=NullScheme(signature_size=DEFAULT_PROFILE.signature_bytes),
-            validation_mode=ValidationMode.ACCOUNTING,
-            with_ground_truth=False,
-        )
-        series.add(index, [result.mean_kb_sent()])
-    figure.notes.append("x=0: batched (default); x=1: one envelope per edge")
-    return figure
+    return _run("ablation-batching", {"n": n, "k": k}, workers=workers)
 
 
-def ablation_signature_size(n: int = 20, k: int = 4) -> FigureData:
+def ablation_signature_size(
+    n: int = 20, k: int = 4, workers: int | None = None
+) -> FigureData:
     """Cost under the 64-byte (ECDSA) vs 32-byte (compact) profiles."""
-    graph = harary_graph(k, n)
-    figure = FigureData(
-        figure_id="ablation-sigsize",
-        title=f"Signature size profiles (Harary k={k}, n={n})",
-        x_label="signature bytes",
-        y_label="KB sent per node",
-    )
-    series = figure.series_named("Nectar")
-    for profile in (COMPACT_PROFILE, DEFAULT_PROFILE):
-        result = nectar_cost_trial(graph, profile=profile)
-        series.add(profile.signature_bytes, [result.mean_kb_sent()])
-    return figure
+    return _run("ablation-sigsize", {"n": n, "k": k}, workers=workers)

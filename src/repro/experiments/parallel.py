@@ -1,4 +1,4 @@
-"""Sharded trial execution for figure sweeps (DESIGN.md §6.3).
+"""Sharded trial execution for figure sweeps (DESIGN.md §6.3, §7).
 
 A figure sweep is an embarrassingly parallel grid: every cell builds
 its own deployment from an explicit seed and shares no mutable state
@@ -8,6 +8,12 @@ a serial run — results come back in submission order, and every cell's
 randomness flows exclusively from the seed in its argument tuple, never
 from ambient RNG state.  ``tests/test_parallel.py`` pins serial ≡
 parallel for every worker count.
+
+The primary client is the declarative sweep engine
+(:mod:`repro.experiments.spec`): every registered figure expands into
+:class:`~repro.experiments.spec.TrialSpec` cells that one shared
+module-level executor maps over — which is why *all* sweeps, not just
+the grid-shaped ones, shard through here.
 
 Worker-count resolution (:func:`resolve_workers`):
 

@@ -1,16 +1,26 @@
-"""Serialisation of figure data to JSON and CSV.
+"""Serialisation of figure data to JSON and CSV, keyed by spec hash.
 
 The benchmark harness archives plain-text tables; downstream plotting
 (matplotlib notebooks, papers, dashboards) wants machine-readable
 series.  These helpers round-trip :class:`FigureData` losslessly
 through JSON and export flat CSV.
+
+Figures produced by the declarative spec layer
+(:mod:`repro.experiments.spec`) can embed the *resolved sweep spec*
+that generated them — figure id, scale, axis values and seed policy —
+and :func:`save_figure` keys the output file by a stable SHA-256
+digest of that spec (:func:`spec_digest`), so re-running the same
+sweep overwrites the same artefact and different parameterisations
+never collide.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
+import pathlib
 
 from repro.errors import ExperimentError
 from repro.experiments.report import FigureData, Point, Series
@@ -18,9 +28,32 @@ from repro.experiments.report import FigureData, Point, Series
 _SCHEMA_VERSION = 1
 
 
-def figure_to_dict(figure: FigureData) -> dict:
-    """A JSON-ready representation of a figure."""
-    return {
+def canonical_spec_json(spec: dict) -> str:
+    """The canonical (sorted, compact) JSON encoding of a spec payload.
+
+    This is the byte string :func:`spec_digest` hashes; any
+    JSON-serialisable payload works, but the usual input is
+    ``ResolvedSweep.payload()``.
+    """
+    try:
+        return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"spec payload is not JSON-serialisable: {exc}") from exc
+
+
+def spec_digest(spec: dict) -> str:
+    """A stable hex digest identifying one resolved sweep spec."""
+    return hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
+
+
+def figure_to_dict(figure: FigureData, spec: dict | None = None) -> dict:
+    """A JSON-ready representation of a figure.
+
+    Args:
+        spec: optional resolved-sweep payload to embed (with its
+            digest) so the artefact records exactly how it was made.
+    """
+    payload = {
         "schema": _SCHEMA_VERSION,
         "figure_id": figure.figure_id,
         "title": figure.title,
@@ -43,6 +76,9 @@ def figure_to_dict(figure: FigureData) -> dict:
             for series in figure.series
         ],
     }
+    if spec is not None:
+        payload["spec"] = {"digest": spec_digest(spec), "resolved": spec}
+    return payload
 
 
 def figure_from_dict(payload: dict) -> FigureData:
@@ -80,9 +116,9 @@ def figure_from_dict(payload: dict) -> FigureData:
         raise ExperimentError(f"malformed figure payload: {exc}") from exc
 
 
-def dump_figure_json(figure: FigureData) -> str:
-    """Figure as a JSON string."""
-    return json.dumps(figure_to_dict(figure), indent=2, sort_keys=True)
+def dump_figure_json(figure: FigureData, spec: dict | None = None) -> str:
+    """Figure (and optionally its resolved spec) as a JSON string."""
+    return json.dumps(figure_to_dict(figure, spec=spec), indent=2, sort_keys=True)
 
 
 def load_figure_json(text: str) -> FigureData:
@@ -91,11 +127,54 @@ def load_figure_json(text: str) -> FigureData:
     Raises:
         ExperimentError: on invalid JSON or schema.
     """
+    figure, _ = load_figure_record(text)
+    return figure
+
+
+def load_figure_record(text: str) -> tuple[FigureData, dict | None]:
+    """Parse a figure JSON together with its embedded spec, if any.
+
+    Returns:
+        ``(figure, spec)`` where ``spec`` is the resolved-sweep payload
+        stored by :func:`dump_figure_json` (None for spec-less files).
+
+    Raises:
+        ExperimentError: on invalid JSON or schema.
+    """
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ExperimentError(f"invalid figure JSON: {exc}") from exc
-    return figure_from_dict(payload)
+    figure = figure_from_dict(payload)
+    spec_entry = payload.get("spec") if isinstance(payload, dict) else None
+    spec = spec_entry.get("resolved") if isinstance(spec_entry, dict) else None
+    return figure, spec
+
+
+def figure_file_name(figure: FigureData, spec: dict | None = None) -> str:
+    """The archive file name for a figure: spec-hash-keyed when a spec
+    is given (``<figure_id>-<digest12>.json``), else ``<figure_id>.json``."""
+    if spec is None:
+        return f"{figure.figure_id}.json"
+    return f"{figure.figure_id}-{spec_digest(spec)[:12]}.json"
+
+
+def save_figure(
+    figure: FigureData,
+    directory: str | pathlib.Path,
+    spec: dict | None = None,
+) -> pathlib.Path:
+    """Write a figure's JSON into ``directory`` and return the path.
+
+    The file is keyed by :func:`figure_file_name`, so re-running an
+    identical resolved spec overwrites its own artefact while any
+    change of axis values, scale or seed policy lands in a new file.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / figure_file_name(figure, spec=spec)
+    path.write_text(dump_figure_json(figure, spec=spec))
+    return path
 
 
 def dump_figure_csv(figure: FigureData) -> str:

@@ -101,6 +101,19 @@ class FigureData:
         self.series.append(created)
         return created
 
+    def rows(self) -> list[tuple[str, float, float, float, int]]:
+        """All data as flat ``(series, x, mean, ci_half_width, trials)``
+        rows, in series-then-point order — a convenience view for
+        notebooks, diffing and quick assertions (the CSV exporter and
+        the JSON round-trip in :mod:`repro.experiments.persistence`
+        remain the lossless representations).
+        """
+        return [
+            (series.name, point.x, point.mean, point.ci_half_width, point.trials)
+            for series in self.series
+            for point in series.points
+        ]
+
     def render(self) -> str:
         """A plain-text table, one row per x value, one column per series."""
         xs = sorted({point.x for s in self.series for point in s.points})

@@ -144,6 +144,17 @@ def honest_mtgv2_factory(setup: NodeSetup) -> Mtgv2Node:
     )
 
 
+#: protocol name -> honest factory, the registry the declarative spec
+#: layer (:mod:`repro.experiments.spec`) resolves ``TrialSpec.protocol``
+#: against.  Factories are referenced by name so trial specs stay plain
+#: picklable data.
+HONEST_FACTORIES: dict[str, ProtocolFactory] = {
+    "nectar": honest_nectar_factory,
+    "mtg": honest_mtg_factory,
+    "mtgv2": honest_mtgv2_factory,
+}
+
+
 @dataclass(frozen=True)
 class TrialResult:
     """Outcome of one trial."""

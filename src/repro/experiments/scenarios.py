@@ -21,8 +21,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.adversary.placement import balanced_placement
 from repro.errors import ExperimentError, TopologyError
-from repro.graphs.generators.drone import drone_deployment
+from repro.graphs.generators.drone import drone_deployment, drone_graph
 from repro.graphs.generators.logharary import k_diamond, k_pasted_tree
 from repro.graphs.generators.regular import harary_graph, random_regular_graph
 from repro.graphs.generators.wheels import generalized_wheel, multipartite_wheel
@@ -130,6 +131,31 @@ def bridged_partition_scenario(
         favored=frozenset(left),
         muted=frozenset(right),
     )
+
+
+@dataclass(frozen=True)
+class SaturationScenario:
+    """The Sec. V-D MtG setup: a partitioned graph, Byzantine nodes
+    balanced over its two halves, gossiping saturated filters."""
+
+    graph: Graph
+    byzantine: frozenset[NodeId]
+
+
+def saturation_partition_scenario(
+    n: int, t: int, radius: float, seed: int = 0
+) -> SaturationScenario:
+    """The filter-saturation attack deployment for flat MtG (Fig. 8).
+
+    A drone graph partitioned into two scatters (barycenter distance
+    :data:`PARTITIONED_DRONE_DISTANCE`), with the t Byzantine nodes
+    equally distributed between the two halves.
+    """
+    graph = drone_graph(n, PARTITIONED_DRONE_DISTANCE, radius, seed=seed)
+    left = [v for v in range(n // 2)]
+    right = [v for v in range(n // 2, n)]
+    byzantine = balanced_placement([left, right], t, seed=seed)
+    return SaturationScenario(graph=graph, byzantine=frozenset(byzantine))
 
 
 # ----------------------------------------------------------------------

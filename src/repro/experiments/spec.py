@@ -1,0 +1,1535 @@
+"""Declarative experiment specs: one composable layer behind every
+trial, sweep and figure (DESIGN.md §7).
+
+The experiment definition layer used to be thirteen hand-written
+functions that each re-plumbed seeds, scale presets and worker counts
+by hand.  This module replaces that with *data*:
+
+* :class:`TopologySpec` — where a trial runs: a named topology family,
+  a drone deployment, or one of the Sec. V-D attack scenarios.
+* :class:`TrialSpec` — one fully-described trial: topology × protocol
+  × adversary × knobs (wire profile, rounds, batching, spammers).
+  Protocols, adversaries and profiles are referenced *by name* through
+  registries, so a spec is plain picklable data and can cross process
+  boundaries, be hashed, or be written to JSON.
+* :func:`execute_trial` — the single module-level cell executor every
+  sweep shards through :func:`repro.experiments.parallel.parallel_map`.
+* :class:`SweepSpec` — a registered figure: named axes with reduced-
+  and paper-scale presets (replacing ad-hoc ``REPRO_FULL`` checks), a
+  plan builder that expands resolved axes into ordered cell groups,
+  and a capability set the CLI surfaces instead of sniffing function
+  signatures.
+* :class:`SweepEngine` — resolves a spec against a scale and axis
+  overrides, executes all cells through the shared executor (``workers``
+  shards *every* sweep, including ``connectivity-resilience`` and
+  ``topology-comparison``, which used to be serial), and assembles the
+  :class:`~repro.experiments.report.FigureData`.
+
+The public figure functions in :mod:`repro.experiments.figures` are
+thin wrappers over :data:`FIGURE_SPECS`; the golden-row suite in
+``tests/test_spec.py`` pins their output bit-identical to the
+pre-spec implementations for any worker count.
+
+Seeds: registered figures use ``seed_mode="index"`` (trial index is
+the seed — the historical, equivalence-pinned behaviour).  New sweeps
+can opt into ``seed_mode="hashed"``, which derives statistically
+independent per-trial seeds via
+:func:`repro.experiments.parallel.trial_seeds`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.adversary.behaviors import (
+    SaturatingMtgNode,
+    SpamNectarNode,
+    TwoFacedMtgv2Node,
+    TwoFacedNectarNode,
+)
+from repro.baselines.mtg import MtgNode
+from repro.core.decision import clear_connectivity_cache
+from repro.core.nectar import NectarNode
+from repro.core.validation import ValidationMode
+from repro.crypto.signer import NullScheme
+from repro.crypto.sizes import (
+    COMPACT_PROFILE,
+    DEFAULT_PROFILE,
+    ECDSA_PROFILE,
+    PAYLOAD_PROFILE,
+    WireProfile,
+)
+from repro.errors import ExperimentError
+from repro.experiments.accuracy import success_rate
+from repro.experiments.parallel import parallel_map, trial_seeds
+from repro.experiments.report import FigureData
+from repro.experiments.runner import (
+    HONEST_FACTORIES,
+    NodeSetup,
+    baseline_cost_trial,
+    honest_mtg_factory,
+    honest_mtgv2_factory,
+    honest_nectar_factory,
+    nectar_cost_trial,
+    run_trial,
+)
+from repro.experiments.scenarios import (
+    BridgedPartitionScenario,
+    bridged_partition_scenario,
+    build_topology,
+    saturation_partition_scenario,
+    split_topology_scenario,
+)
+from repro.graphs.analysis import diameter
+from repro.graphs.generators.drone import drone_graph
+from repro.graphs.graph import Graph
+
+
+def paper_scale() -> bool:
+    """Whether paper-scale sweeps were requested (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+# ----------------------------------------------------------------------
+# Registries: profiles, protocols, adversaries
+# ----------------------------------------------------------------------
+#: wire-profile name -> profile; ``TrialSpec.profile`` resolves here.
+PROFILES: dict[str, WireProfile] = {
+    "ecdsa": ECDSA_PROFILE,
+    "compact": COMPACT_PROFILE,
+    "payload": PAYLOAD_PROFILE,
+}
+
+
+def register_profile(profile: WireProfile) -> str:
+    """Make a custom :class:`WireProfile` addressable by name in specs.
+
+    Returns the profile's name.  Registration must happen before
+    worker processes fork (i.e. before the sweep runs), which is the
+    natural order — build your profile, register, then sweep.
+    """
+    existing = PROFILES.get(profile.name)
+    if existing is not None and existing != profile:
+        raise ExperimentError(
+            f"profile name {profile.name!r} already registered differently"
+        )
+    PROFILES[profile.name] = profile
+    return profile.name
+
+
+def profile_name(profile: WireProfile | str) -> str:
+    """The registry name of a profile (accepts a name or an instance).
+
+    Raises:
+        ExperimentError: for an instance that is not registered (use
+            :func:`register_profile` first).
+    """
+    if isinstance(profile, str):
+        if profile not in PROFILES:
+            raise ExperimentError(
+                f"unknown wire profile {profile!r}; known: {sorted(PROFILES)}"
+            )
+        return profile
+    registered = PROFILES.get(profile.name)
+    if registered is None or registered != profile:
+        raise ExperimentError(
+            f"wire profile {profile.name!r} is not registered; call "
+            "repro.experiments.spec.register_profile(profile) first"
+        )
+    return profile.name
+
+
+def _resolve_profile(name: str) -> WireProfile:
+    """Look up a profile name at execution time, with a real error.
+
+    Worker processes resolve names against the registry of their own
+    interpreter: under a ``fork`` start the parent's registrations are
+    inherited, but under ``spawn`` only import-time registrations
+    exist — so a missing name must explain itself rather than surface
+    as a bare ``KeyError`` from inside the pool.
+    """
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise ExperimentError(
+            f"unknown wire profile {name!r}; known: {sorted(PROFILES)} "
+            "(custom profiles need register_profile(), at import time "
+            "when worker processes use the spawn start method)"
+        )
+    return profile
+
+
+#: protocol names accepted by ``TrialSpec.protocol``.
+PROTOCOLS: tuple[str, ...] = tuple(sorted(HONEST_FACTORIES))
+
+#: adversary names accepted by ``TrialSpec.adversary``; "" means an
+#: adversary-free cost trial.
+ADVERSARIES: tuple[str, ...] = ("", "two-faced", "saturating", "spam")
+
+
+# ----------------------------------------------------------------------
+# TopologySpec / TrialSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Where a trial runs.
+
+    Attributes:
+        kind: one of
+
+            * ``"family"`` — a registered topology family
+              (:data:`repro.experiments.scenarios.TOPOLOGY_FAMILIES`),
+              built as ``build_topology(family, n, k, seed)``;
+            * ``"drone"`` — the Figs. 4-7 drone deployment,
+              ``drone_graph(n, distance, radius, seed)``;
+            * ``"bridged-drone"`` — the Fig. 8 bridged-partition attack
+              scenario (two drone scatters, ``t`` Byzantine bridges);
+            * ``"split"`` — the Sec. V-D split-topology attack scenario
+              on family ``family``;
+            * ``"partitioned-drone"`` — the MtG saturation deployment
+              (partitioned drone graph, balanced Byzantine placement).
+        n: node count (total, Byzantine included where applicable).
+        k: connectivity parameter for family-based kinds.
+        family: family name for ``"family"`` / ``"split"``.
+        t: Byzantine count for the scenario kinds.
+        distance: barycenter distance for ``"drone"``.
+        radius: radio range for the drone-based kinds.
+        seed: construction seed.
+    """
+
+    kind: str
+    n: int
+    k: int = 0
+    family: str = ""
+    t: int = 0
+    distance: float = 0.0
+    radius: float = 1.2
+    seed: int = 0
+
+    def build(self) -> Graph:
+        """The topology graph (non-scenario kinds)."""
+        if self.kind == "family":
+            return build_topology(self.family, self.n, self.k, seed=self.seed)
+        if self.kind == "drone":
+            return drone_graph(self.n, self.distance, self.radius, seed=self.seed)
+        raise ExperimentError(
+            f"topology kind {self.kind!r} needs build_scenario(), not build()"
+        )
+
+    def build_scenario(self) -> BridgedPartitionScenario:
+        """The attack scenario (``bridged-drone`` / ``split`` kinds)."""
+        if self.kind == "bridged-drone":
+            return bridged_partition_scenario(
+                self.n, self.t, radius=self.radius, seed=self.seed
+            )
+        if self.kind == "split":
+            return split_topology_scenario(
+                self.family, self.n, self.t, self.k, seed=self.seed
+            )
+        raise ExperimentError(f"topology kind {self.kind!r} is not a scenario")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-declarative trial.
+
+    Every field is a plain picklable value; protocols, adversaries and
+    wire profiles are referenced by registry name.  The single cell
+    executor :func:`execute_trial` interprets a spec; sweeps shard
+    lists of specs over worker processes, so a spec must carry *all*
+    the randomness of its trial in explicit seeds.
+
+    Attributes:
+        topology: where the trial runs.
+        protocol: honest protocol under measurement
+            (:data:`PROTOCOLS`).
+        adversary: Byzantine behaviour (:data:`ADVERSARIES`); ""
+            runs an adversary-free cost trial.
+        seed: deployment/run seed.
+        profile: wire-profile name (:data:`PROFILES`).
+        rounds: round budget; 0 uses the protocol default.
+        batching: NECTAR per-round envelope batching (cost trials).
+        spammers: Byzantine announcement spammers (``adversary="spam"``).
+        measure: the scalar extracted from the trial —
+            ``"mean-kb-sent"``, ``"correct-kb-sent"`` or
+            ``"success-rate"``.
+    """
+
+    topology: TopologySpec
+    protocol: str = "nectar"
+    adversary: str = ""
+    seed: int = 0
+    profile: str = "ecdsa"
+    rounds: int = 0
+    batching: bool = True
+    spammers: int = 0
+    measure: str = "mean-kb-sent"
+
+
+# ----------------------------------------------------------------------
+# The one cell executor
+# ----------------------------------------------------------------------
+def _two_faced_nectar_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
+    """Success rate of NECTAR under the two-faced bridge attack."""
+    t = scenario.t
+
+    def factory(setup: NodeSetup):
+        return TwoFacedNectarNode(
+            setup.node_id,
+            setup.n,
+            setup.t,
+            setup.key_store.key_pair_of(setup.node_id),
+            setup.scheme,
+            setup.key_store.directory,
+            setup.neighbor_proofs,
+            silent_towards=scenario.silent_towards_of(setup.node_id),
+        )
+
+    result = run_trial(
+        scenario.graph,
+        t=t,
+        byzantine_factories={b: factory for b in scenario.byzantine},
+        honest_factory=honest_nectar_factory,
+        connectivity_cutoff=t + 1,
+        seed=seed,
+        ground_truth_cutoff=2 * t + 1,
+    )
+    return success_rate(result.correct_verdicts, result.ground_truth)
+
+
+def _two_faced_mtgv2_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
+    """Success rate of MtGv2 under the two-faced bridge attack."""
+
+    def factory(setup: NodeSetup):
+        return TwoFacedMtgv2Node(
+            setup.node_id,
+            setup.n,
+            setup.neighbors,
+            setup.key_store.key_pair_of(setup.node_id),
+            setup.scheme,
+            setup.key_store.directory,
+            silent_towards=scenario.silent_towards_of(setup.node_id),
+        )
+
+    result = run_trial(
+        scenario.graph,
+        t=scenario.t,
+        byzantine_factories={b: factory for b in scenario.byzantine},
+        honest_factory=honest_mtgv2_factory,
+        seed=seed,
+        ground_truth_cutoff=2 * scenario.t + 1,
+    )
+    return success_rate(result.correct_verdicts, result.ground_truth)
+
+
+def _saturating_mtg_factory(setup: NodeSetup) -> MtgNode:
+    return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
+
+
+def _saturation_rate(graph: Graph, byzantine, t: int, seed: int) -> float:
+    """Success rate of MtG under the filter-saturation attack."""
+    result = run_trial(
+        graph,
+        t=t,
+        byzantine_factories={b: _saturating_mtg_factory for b in byzantine},
+        honest_factory=honest_mtg_factory,
+        seed=seed,
+        ground_truth_cutoff=2 * t + 1,
+    )
+    return success_rate(result.correct_verdicts, result.ground_truth)
+
+
+def _spam_kb_sent(spec: TrialSpec) -> float:
+    """Correct-node traffic under announcement-spamming Byzantine nodes."""
+    if spec.measure != "correct-kb-sent":
+        raise ExperimentError(
+            f"spam trials measure correct-kb-sent, got {spec.measure!r}"
+        )
+    graph = spec.topology.build()
+    byzantine = {}
+    for b in range(spec.spammers):
+        def factory(setup: NodeSetup, _b=b):
+            return SpamNectarNode(
+                setup.node_id,
+                setup.n,
+                setup.t,
+                setup.key_store.key_pair_of(setup.node_id),
+                setup.scheme,
+                setup.key_store.directory,
+                setup.neighbor_proofs,
+            )
+        byzantine[b] = factory
+    t = max(1, spec.spammers)
+    result = run_trial(
+        graph,
+        t=t,
+        byzantine_factories=byzantine,
+        connectivity_cutoff=t + 1,
+        seed=spec.seed,
+        with_ground_truth=False,
+    )
+    correct = [v for v in graph.nodes() if v not in result.byzantine]
+    return result.stats.mean_kb_sent(correct)
+
+
+def _unbatched_kb_sent(spec: TrialSpec, graph: Graph) -> float:
+    """NECTAR cost with per-announcement envelopes (batching off)."""
+    profile = _resolve_profile(spec.profile)
+
+    def factory(setup: NodeSetup):
+        return NectarNode(
+            setup.node_id,
+            setup.n,
+            setup.t,
+            setup.key_store.key_pair_of(setup.node_id),
+            setup.scheme,
+            setup.key_store.directory,
+            setup.neighbor_proofs,
+            validation_mode=ValidationMode.ACCOUNTING,
+            connectivity_cutoff=1,
+            batching=False,
+        )
+
+    result = run_trial(
+        graph,
+        t=0,
+        honest_factory=factory,
+        scheme=NullScheme(signature_size=profile.signature_bytes),
+        profile=profile,
+        validation_mode=ValidationMode.ACCOUNTING,
+        with_ground_truth=False,
+    )
+    return result.mean_kb_sent()
+
+
+def execute_trial(spec: TrialSpec) -> float:
+    """Execute one :class:`TrialSpec` and return its scalar measure.
+
+    This is *the* sweep cell executor: module-level (so worker
+    processes can import it), self-contained (all randomness flows
+    from the spec's explicit seeds) and shared by every registered
+    figure — which is what lets :class:`SweepEngine` shard any sweep
+    through :func:`~repro.experiments.parallel.parallel_map`.
+    """
+    top = spec.topology
+    if spec.adversary == "":
+        if spec.measure != "mean-kb-sent":
+            raise ExperimentError(
+                f"cost trials measure mean-kb-sent, got {spec.measure!r}"
+            )
+        if spec.protocol == "nectar":
+            graph = top.build()
+            if not spec.batching:
+                return _unbatched_kb_sent(spec, graph)
+            result = nectar_cost_trial(
+                graph,
+                profile=_resolve_profile(spec.profile),
+                rounds=spec.rounds or None,
+                seed=spec.seed,
+            )
+            return result.mean_kb_sent()
+        if spec.protocol in ("mtg", "mtgv2"):
+            result = baseline_cost_trial(
+                top.build(),
+                spec.protocol,
+                profile=_resolve_profile(spec.profile),
+                rounds=spec.rounds or None,
+                seed=spec.seed,
+            )
+            return result.mean_kb_sent()
+        raise ExperimentError(f"unknown protocol {spec.protocol!r}")
+    if spec.adversary == "spam":
+        return _spam_kb_sent(spec)
+    if spec.measure != "success-rate":
+        raise ExperimentError(
+            f"adversarial trials measure success-rate, got {spec.measure!r}"
+        )
+    # Scenario construction and decision both consult the (pure,
+    # bounded) connectivity memo; clear it per cell exactly like the
+    # historical serial loops did.
+    clear_connectivity_cache()
+    if spec.adversary == "two-faced":
+        scenario = top.build_scenario()
+        if spec.protocol == "nectar":
+            return _two_faced_nectar_rate(scenario, seed=spec.seed)
+        if spec.protocol == "mtgv2":
+            return _two_faced_mtgv2_rate(scenario, seed=spec.seed)
+        raise ExperimentError(
+            f"two-faced adversary targets nectar/mtgv2, got {spec.protocol!r}"
+        )
+    if spec.adversary == "saturating":
+        if spec.protocol != "mtg":
+            raise ExperimentError(
+                f"saturating adversary targets mtg, got {spec.protocol!r}"
+            )
+        if top.kind == "partitioned-drone":
+            deployment = saturation_partition_scenario(
+                top.n, top.t, top.radius, seed=top.seed
+            )
+            return _saturation_rate(
+                deployment.graph, deployment.byzantine, top.t, seed=spec.seed
+            )
+        scenario = top.build_scenario()
+        return _saturation_rate(
+            scenario.graph, scenario.byzantine, scenario.t, seed=spec.seed
+        )
+    raise ExperimentError(f"unknown adversary {spec.adversary!r}")
+
+
+def attack_rates(
+    n: int, t: int, radius: float = 1.2, seed: int = 0
+) -> dict[str, float]:
+    """Success rates of all three protocols under the Fig. 8 attacks.
+
+    The public replacement for the private per-protocol helpers the
+    CLI used to import: NECTAR and MtGv2 face the two-faced bridge
+    attack on the bridged drone partition; MtG faces filter saturation
+    on the partitioned drone deployment.
+
+    Returns:
+        ``{"nectar": rate, "mtgv2": rate, "mtg": rate}``.
+    """
+    rates = {}
+    for protocol, adversary, kind in (
+        ("nectar", "two-faced", "bridged-drone"),
+        ("mtgv2", "two-faced", "bridged-drone"),
+        ("mtg", "saturating", "partitioned-drone"),
+    ):
+        rates[protocol] = execute_trial(
+            TrialSpec(
+                topology=TopologySpec(
+                    kind=kind, n=n, t=t, radius=radius, seed=seed
+                ),
+                protocol=protocol,
+                adversary=adversary,
+                seed=seed,
+                measure="success-rate",
+            )
+        )
+    return rates
+
+
+# ----------------------------------------------------------------------
+# SweepSpec: axes, presets, plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AxisSpec:
+    """One named sweep axis with per-scale presets.
+
+    Attributes:
+        name: the axis name (also the ``--set`` key on the CLI).
+        reduced: value at reduced scale (the default).
+        paper: value at paper scale; ``None`` means same as reduced.
+    """
+
+    name: str
+    reduced: object
+    paper: object = None
+
+    def value(self, scale: str) -> object:
+        return self.paper if scale == "paper" and self.paper is not None else self.reduced
+
+
+@dataclass(frozen=True)
+class CellGroup:
+    """One figure row: a series name, an x value and its trial cells."""
+
+    series: str
+    x: float
+    cells: tuple[TrialSpec, ...]
+
+
+@dataclass
+class FigurePlan:
+    """A fully-expanded sweep: the figure shell plus ordered cells.
+
+    Attributes:
+        figure: pre-filled id/title/labels/notes (scale and skip notes
+            included); series may be pre-created to pin display order.
+        groups: ordered cell groups; the engine executes all cells of
+            all groups through one :func:`parallel_map` call and then
+            aggregates group by group.
+        finalize: optional post-assembly hook (e.g. ratio notes).
+    """
+
+    figure: FigureData
+    groups: list[CellGroup] = field(default_factory=list)
+    finalize: Callable[[FigureData], None] | None = None
+
+
+#: plan name -> builder(params) -> FigurePlan.
+_PLANS: dict[str, Callable[[dict], FigurePlan]] = {}
+
+
+def _plan(name: str):
+    def register(fn):
+        _PLANS[name] = fn
+        return fn
+
+    return register
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One registered, declaratively-described figure.
+
+    Attributes:
+        figure_id: registry key (also the default ``FigureData`` id).
+        title: human-readable description for listings.
+        axes: the named axes with reduced/paper presets.
+        plan: key into the plan-builder registry.
+        capabilities: what the CLI may offer for this spec; a subset of
+            ``{"workers", "paper-scale", "profiles"}``.  (Every spec
+            shards through the shared executor, so "workers" is
+            universal; it is listed explicitly because the registry
+            replaces the CLI's old signature sniffing.)
+        seed_mode: ``"index"`` (trial index is the seed; the
+            equivalence-pinned historical behaviour) or ``"hashed"``
+            (independent seeds via ``trial_seeds``).
+        scale_noted: whether the figure records a scale note.
+    """
+
+    figure_id: str
+    title: str
+    axes: tuple[AxisSpec, ...]
+    plan: str
+    capabilities: frozenset[str] = frozenset({"workers"})
+    seed_mode: str = "index"
+    scale_noted: bool = True
+
+    def axis(self, name: str) -> AxisSpec:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise ExperimentError(
+            f"{self.figure_id}: unknown axis {name!r}; "
+            f"known: {[a.name for a in self.axes]}"
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedSweep:
+    """A spec bound to a concrete scale, axis values and seed policy."""
+
+    spec: SweepSpec
+    scale: str
+    params: Mapping[str, object]
+    seed_mode: str = "index"
+    base_seed: int = 0
+
+    def payload(self) -> dict:
+        """A canonical JSON-safe description (the spec-hash input)."""
+        return {
+            "figure": self.spec.figure_id,
+            "scale": self.scale,
+            "axes": {name: _jsonify(value) for name, value in self.params.items()},
+            "seed_mode": self.seed_mode,
+            "base_seed": self.base_seed,
+        }
+
+
+def _jsonify(value):
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, WireProfile):  # pragma: no cover - normalised earlier
+        return value.name
+    return value
+
+
+def _seeds(params: dict, trials: int) -> list[int]:
+    """Per-trial seeds under the resolved seed policy."""
+    if params.get("_seed_mode") == "hashed":
+        return trial_seeds(params.get("_base_seed", 0), trials)
+    return list(range(trials))
+
+
+def _new_figure(
+    figure_id: str, title: str, x_label: str, y_label: str, params: dict
+) -> FigureData:
+    figure = FigureData(
+        figure_id=figure_id, title=title, x_label=x_label, y_label=y_label
+    )
+    if params.get("_scale_noted", True):
+        if params.get("_scale") == "paper":
+            figure.notes.append("paper-scale run (REPRO_FULL=1)")
+        else:
+            figure.notes.append("reduced scale; set REPRO_FULL=1 for paper scale")
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Plan builders, one per figure shape
+# ----------------------------------------------------------------------
+def _harary_cost_cell(n: int, k: int, profile: str) -> TrialSpec:
+    return TrialSpec(
+        topology=TopologySpec(kind="family", family="harary", n=n, k=k),
+        protocol="nectar",
+        profile=profile,
+    )
+
+
+@_plan("fig3")
+def _plan_fig3(params: dict) -> FigurePlan:
+    ns, ks, profile = params["ns"], params["ks"], params["profile"]
+    name = _resolve_profile(profile).name
+    figure = _new_figure(
+        f"fig3-{name}" if name != DEFAULT_PROFILE.name else "fig3",
+        (
+            "NECTAR data sent per node, k-regular k-connected graphs "
+            f"({name} profile)"
+        ),
+        "n",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for k in ks:
+        for n in ns:
+            if k >= n:
+                continue
+            plan.groups.append(
+                CellGroup(
+                    f"Nectar: k = {k}", n, (_harary_cost_cell(n, k, profile),)
+                )
+            )
+    return plan
+
+
+@_plan("fig3-random")
+def _plan_fig3_random(params: dict) -> FigurePlan:
+    ns, ks, trials, profile = (
+        params["ns"],
+        params["ks"],
+        params["trials"],
+        params["profile"],
+    )
+    name = _resolve_profile(profile).name
+    figure = _new_figure(
+        "fig3-random",
+        (
+            "NECTAR data sent per node, random k-regular graphs "
+            f"({name} profile, {trials} trials)"
+        ),
+        "n",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for k in ks:
+        for n in ns:
+            if k >= n or (n * k) % 2 != 0:
+                continue
+            cells = tuple(
+                TrialSpec(
+                    topology=TopologySpec(
+                        kind="family", family="k-regular", n=n, k=k, seed=seed
+                    ),
+                    protocol="nectar",
+                    profile=profile,
+                )
+                for seed in _seeds(params, trials)
+            )
+            plan.groups.append(CellGroup(f"Nectar: k = {k}", n, cells))
+    return plan
+
+
+def _drone_cost_cell(
+    protocol: str, n: int, d: float, radius: float, seed: int
+) -> TrialSpec:
+    return TrialSpec(
+        topology=TopologySpec(
+            kind="drone", n=n, distance=d, radius=radius, seed=seed
+        ),
+        protocol=protocol,
+    )
+
+
+def _plan_drone_distance(params: dict, protocol: str, label: str) -> FigurePlan:
+    """Figs. 4/5: cost vs barycenter distance, plus the flat-MtG curve."""
+    distances, radii, n, trials = (
+        params["distances"],
+        params["radii"],
+        params["n"],
+        params["trials"],
+    )
+    figure = _new_figure(
+        "fig4" if protocol == "nectar" else "fig5",
+        (
+            f"Drone scenario, data sent per node (n={n})"
+            if protocol == "nectar"
+            else f"Drone scenario, MtGv2 data sent per node (n={n})"
+        ),
+        "d",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+    for radius in radii:
+        for d in distances:
+            cells = tuple(
+                _drone_cost_cell(protocol, n, d, radius, seed) for seed in seeds
+            )
+            plan.groups.append(CellGroup(f"{label}: radius = {radius}", d, cells))
+    for d in distances:
+        cells = tuple(_drone_cost_cell("mtg", n, d, 1.8, seed) for seed in seeds)
+        plan.groups.append(CellGroup("MtG", d, cells))
+    return plan
+
+
+@_plan("fig4")
+def _plan_fig4(params: dict) -> FigurePlan:
+    return _plan_drone_distance(params, "nectar", "Nectar")
+
+
+@_plan("fig5")
+def _plan_fig5(params: dict) -> FigurePlan:
+    return _plan_drone_distance(params, "mtgv2", "MtGv2")
+
+
+def _plan_drone_scaling(params: dict, protocol: str, label: str) -> FigurePlan:
+    """Figs. 6/7: cost vs n in the drone scenario."""
+    ns, distances, radius, trials = (
+        params["ns"],
+        params["distances"],
+        params["radius"],
+        params["trials"],
+    )
+    figure = _new_figure(
+        "fig6" if protocol == "nectar" else "fig7",
+        (
+            f"Drone scenario, NECTAR data sent per node (radius={radius})"
+            if protocol == "nectar"
+            else f"Drone scenario, MtGv2 data sent per node (radius={radius})"
+        ),
+        "n",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+    for d in distances:
+        for n in ns:
+            cells = tuple(
+                _drone_cost_cell(protocol, n, d, radius, seed) for seed in seeds
+            )
+            plan.groups.append(CellGroup(f"{label}: d = {d}", n, cells))
+    for n in ns:
+        cells = tuple(
+            _drone_cost_cell("mtg", n, 2.5, radius, seed) for seed in seeds
+        )
+        plan.groups.append(CellGroup("MtG", n, cells))
+    return plan
+
+
+@_plan("fig6")
+def _plan_fig6(params: dict) -> FigurePlan:
+    return _plan_drone_scaling(params, "nectar", "Nectar")
+
+
+@_plan("fig7")
+def _plan_fig7(params: dict) -> FigurePlan:
+    return _plan_drone_scaling(params, "mtgv2", "MtGv2")
+
+
+@_plan("fig8")
+def _plan_fig8(params: dict) -> FigurePlan:
+    n, ts, radius, trials = (
+        params["n"],
+        params["ts"],
+        params["radius"],
+        params["trials"],
+    )
+    figure = _new_figure(
+        "fig8",
+        f"Decision success rate under attack (drone scenario, n={n})",
+        "t",
+        "success rate of correct decision",
+        params,
+    )
+    # Pin the paper's series order up front (points arrive per t).
+    for series in ("Nectar (ours)", "MtG", "MtGv2"):
+        figure.series_named(series)
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+
+    def scenario_cell(protocol: str, adversary: str, kind: str, t: int, seed: int):
+        return TrialSpec(
+            topology=TopologySpec(kind=kind, n=n, t=t, radius=radius, seed=seed),
+            protocol=protocol,
+            adversary=adversary,
+            seed=seed,
+            measure="success-rate",
+        )
+
+    for t in ts:
+        plan.groups.append(
+            CellGroup(
+                "Nectar (ours)",
+                t,
+                tuple(
+                    scenario_cell("nectar", "two-faced", "bridged-drone", t, s)
+                    for s in seeds
+                ),
+            )
+        )
+        plan.groups.append(
+            CellGroup(
+                "MtGv2",
+                t,
+                tuple(
+                    scenario_cell("mtgv2", "two-faced", "bridged-drone", t, s)
+                    for s in seeds
+                ),
+            )
+        )
+        plan.groups.append(
+            CellGroup(
+                "MtG",
+                t,
+                tuple(
+                    scenario_cell("mtg", "saturating", "partitioned-drone", t, s)
+                    for s in seeds
+                ),
+            )
+        )
+    return plan
+
+
+@_plan("topology-comparison")
+def _plan_topology_comparison(params: dict) -> FigurePlan:
+    families, n, k, trials = (
+        params["families"],
+        params["n"],
+        params["k"],
+        params["trials"],
+    )
+    figure = _new_figure(
+        "topology-comparison",
+        f"NECTAR cost by topology family (n={n}, k={k})",
+        "family#",
+        "KB sent per node (and ratio vs k-regular)",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for index, family in enumerate(families):
+        figure.series_named(family)  # families keep a series even when skipped
+        feasible = _feasible_seed_prefix(
+            _seeds(params, trials),
+            lambda seed: build_topology(family, n, k, seed=seed),
+            lambda exc: figure.notes.append(f"{family}: skipped ({exc})"),
+        )
+        if not feasible:
+            continue
+        cells = tuple(
+            TrialSpec(
+                topology=TopologySpec(
+                    kind="family", family=family, n=n, k=k, seed=seed
+                ),
+                protocol="nectar",
+            )
+            for seed in feasible
+        )
+        plan.groups.append(CellGroup(family, index, cells))
+
+    def finalize(figure: FigureData) -> None:
+        means = {s.name: s.points[0].mean for s in figure.series if s.points}
+        base = means.get("k-regular")
+        if base is None:
+            return
+        for family, mean in means.items():
+            if family != "k-regular" and mean > 0:
+                figure.notes.append(
+                    f"{family}: {base / mean:.2f}x cheaper than k-regular"
+                )
+
+    plan.finalize = finalize
+    return plan
+
+
+@_plan("connectivity-resilience")
+def _plan_connectivity_resilience(params: dict) -> FigurePlan:
+    families, n, k, ts, trials = (
+        params["families"],
+        params["n"],
+        params["k"],
+        params["ts"],
+        params["trials"],
+    )
+    figure = _new_figure(
+        "connectivity-resilience",
+        f"Success rate by topology family (n={n}, k={k})",
+        "t",
+        "success rate of correct decision",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for family in families:
+        for t in ts:
+            feasible = _feasible_seed_prefix(
+                _seeds(params, trials),
+                lambda seed: split_topology_scenario(family, n, t, k, seed=seed),
+                lambda exc: figure.notes.append(f"{family} t={t}: skipped ({exc})"),
+            )
+            if not feasible:
+                continue
+
+            def scenario_cell(protocol: str, adversary: str, seed: int):
+                return TrialSpec(
+                    topology=TopologySpec(
+                        kind="split", family=family, n=n, t=t, k=k, seed=seed
+                    ),
+                    protocol=protocol,
+                    adversary=adversary,
+                    seed=seed,
+                    measure="success-rate",
+                )
+
+            plan.groups.append(
+                CellGroup(
+                    f"Nectar [{family}]",
+                    t,
+                    tuple(scenario_cell("nectar", "two-faced", s) for s in feasible),
+                )
+            )
+            plan.groups.append(
+                CellGroup(
+                    f"MtGv2 [{family}]",
+                    t,
+                    tuple(scenario_cell("mtgv2", "two-faced", s) for s in feasible),
+                )
+            )
+            plan.groups.append(
+                CellGroup(
+                    f"MtG [{family}]",
+                    t,
+                    tuple(scenario_cell("mtg", "saturating", s) for s in feasible),
+                )
+            )
+    return plan
+
+
+def _feasible_seed_prefix(seeds, build, on_skip) -> list[int]:
+    """The seed prefix whose deployments construct successfully.
+
+    Replicates the historical serial skip semantics: probe seeds in
+    order, stop at the first :class:`ExperimentError` (reporting it via
+    ``on_skip``), and sweep only the successful prefix.  Construction
+    is cheap relative to trial execution, so probing in the parent and
+    rebuilding in the worker costs little and keeps skip notes exactly
+    where the serial implementation put them.
+    """
+    feasible = []
+    for seed in seeds:
+        try:
+            build(seed)
+        except ExperimentError as exc:
+            on_skip(exc)
+            break
+        feasible.append(seed)
+    return feasible
+
+
+@_plan("ablation-rounds")
+def _plan_ablation_rounds(params: dict) -> FigurePlan:
+    n, k = params["n"], params["k"]
+    graph = build_topology("harary", n, k)
+    diam = diameter(graph)
+    if diam is None:  # pragma: no cover - Harary graphs are connected
+        raise ExperimentError("disconnected topology in the rounds ablation")
+    figure = _new_figure(
+        "ablation-rounds",
+        f"NECTAR cost vs round budget (Harary k={k}, n={n}, diam={diam})",
+        "rounds",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for rounds in sorted({diam, diam + 1, (n - 1 + diam) // 2, n - 1}):
+        plan.groups.append(
+            CellGroup(
+                "Nectar",
+                rounds,
+                (
+                    TrialSpec(
+                        topology=TopologySpec(kind="family", family="harary", n=n, k=k),
+                        protocol="nectar",
+                        rounds=rounds,
+                    ),
+                ),
+            )
+        )
+    figure.notes.append(
+        "cost is flat beyond the diameter: correct nodes go silent"
+    )
+    return plan
+
+
+@_plan("ablation-spam")
+def _plan_ablation_spam(params: dict) -> FigurePlan:
+    n, k = params["n"], params["k"]
+    figure = _new_figure(
+        "ablation-spam",
+        f"Announcement spam vs dedup (Harary k={k}, n={n})",
+        "spammers",
+        "KB sent per node (correct nodes only)",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for spammers in params["spammers"]:
+        plan.groups.append(
+            CellGroup(
+                "Nectar under spam",
+                spammers,
+                (
+                    TrialSpec(
+                        topology=TopologySpec(kind="family", family="harary", n=n, k=k),
+                        protocol="nectar",
+                        adversary="spam",
+                        spammers=spammers,
+                        measure="correct-kb-sent",
+                    ),
+                ),
+            )
+        )
+    figure.notes.append(
+        "dedup caps the damage: correct-node traffic stays flat because "
+        "duplicates are dropped before relay"
+    )
+    return plan
+
+
+@_plan("ablation-batching")
+def _plan_ablation_batching(params: dict) -> FigurePlan:
+    n, k = params["n"], params["k"]
+    figure = _new_figure(
+        "ablation-batching",
+        f"Envelope batching (Harary k={k}, n={n})",
+        "batched",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for index, batching in enumerate((True, False)):
+        plan.groups.append(
+            CellGroup(
+                "Nectar",
+                index,
+                (
+                    TrialSpec(
+                        topology=TopologySpec(kind="family", family="harary", n=n, k=k),
+                        protocol="nectar",
+                        batching=batching,
+                    ),
+                ),
+            )
+        )
+    figure.notes.append("x=0: batched (default); x=1: one envelope per edge")
+    return plan
+
+
+@_plan("ablation-sigsize")
+def _plan_ablation_sigsize(params: dict) -> FigurePlan:
+    n, k = params["n"], params["k"]
+    figure = _new_figure(
+        "ablation-sigsize",
+        f"Signature size profiles (Harary k={k}, n={n})",
+        "signature bytes",
+        "KB sent per node",
+        params,
+    )
+    plan = FigurePlan(figure)
+    for profile in params["profiles"]:
+        plan.groups.append(
+            CellGroup(
+                "Nectar",
+                _resolve_profile(profile).signature_bytes,
+                (
+                    TrialSpec(
+                        topology=TopologySpec(kind="family", family="harary", n=n, k=k),
+                        protocol="nectar",
+                        profile=profile,
+                    ),
+                ),
+            )
+        )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The registry: 13 figures, declaratively
+# ----------------------------------------------------------------------
+_ALL_FAMILIES = (
+    "k-regular",
+    "harary",
+    "k-pasted-tree",
+    "k-diamond",
+    "generalized-wheel",
+    "multipartite-wheel",
+)
+
+_SPLIT_FAMILIES = (
+    "k-regular",
+    "k-pasted-tree",
+    "k-diamond",
+    "generalized-wheel",
+    "multipartite-wheel",
+)
+
+_SWEEP = frozenset({"workers"})
+_SCALED_SWEEP = frozenset({"workers", "paper-scale"})
+_PROFILED_SWEEP = frozenset({"workers", "paper-scale", "profiles"})
+
+#: figure id -> spec; the single source of truth for the CLI, the
+#: wrappers in :mod:`repro.experiments.figures` and EXPERIMENTS.md.
+FIGURE_SPECS: dict[str, SweepSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        SweepSpec(
+            figure_id="fig3",
+            title="NECTAR cost on k-regular k-connected graphs (Fig. 3, Harary)",
+            axes=(
+                AxisSpec("ns", (10, 20, 30), (20, 40, 60, 80, 100)),
+                AxisSpec("ks", (2, 6, 10), (2, 10, 18, 26, 34)),
+                AxisSpec("profile", "ecdsa"),
+            ),
+            plan="fig3",
+            capabilities=_PROFILED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig3-random",
+            title="NECTAR cost on random k-regular graphs (Fig. 3, sampled)",
+            axes=(
+                AxisSpec("ns", (10, 20, 30), (20, 40, 60, 80, 100)),
+                AxisSpec("ks", (2, 6, 10), (2, 10, 18, 26, 34)),
+                AxisSpec("trials", 3, 50),
+                AxisSpec("profile", "ecdsa"),
+            ),
+            plan="fig3-random",
+            capabilities=_PROFILED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig4",
+            title="Drone scenario, NECTAR cost vs barycenter distance (Fig. 4)",
+            axes=(
+                AxisSpec("distances", (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)),
+                AxisSpec("radii", (1.2, 1.8, 2.4)),
+                AxisSpec("n", 20),
+                AxisSpec("trials", 3, 50),
+            ),
+            plan="fig4",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig5",
+            title="Drone scenario, MtGv2 cost vs barycenter distance (Fig. 5)",
+            axes=(
+                AxisSpec("distances", (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)),
+                AxisSpec("radii", (1.2, 1.8, 2.4)),
+                AxisSpec("n", 20),
+                AxisSpec("trials", 3, 50),
+            ),
+            plan="fig5",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig6",
+            title="Drone scenario, NECTAR cost vs n (Fig. 6)",
+            axes=(
+                AxisSpec("ns", (10, 20, 30), (10, 20, 30, 40, 50)),
+                AxisSpec("distances", (0.0, 2.5, 5.0)),
+                AxisSpec("radius", 1.2),
+                AxisSpec("trials", 2, 50),
+            ),
+            plan="fig6",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig7",
+            title="Drone scenario, MtGv2 cost vs n (Fig. 7)",
+            axes=(
+                AxisSpec("ns", (10, 20, 30), (10, 20, 30, 40, 50)),
+                AxisSpec("distances", (0.0, 2.5, 5.0)),
+                AxisSpec("radius", 1.2),
+                AxisSpec("trials", 2, 50),
+            ),
+            plan="fig7",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="fig8",
+            title="Decision success rate under attack (Fig. 8)",
+            axes=(
+                AxisSpec("n", 35),
+                AxisSpec("ts", (0, 1, 2, 3, 4, 5, 6)),
+                AxisSpec("radius", 1.2),
+                AxisSpec("trials", 5, 50),
+            ),
+            plan="fig8",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="topology-comparison",
+            title="NECTAR cost by topology family (Sec. V-C text)",
+            axes=(
+                AxisSpec("families", _ALL_FAMILIES),
+                AxisSpec("n", 30, 60),
+                AxisSpec("k", 6, 10),
+                AxisSpec("trials", 2, 5),
+            ),
+            plan="topology-comparison",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="connectivity-resilience",
+            title="Success rate by topology family (Sec. V-D text)",
+            axes=(
+                AxisSpec("families", _SPLIT_FAMILIES),
+                AxisSpec("n", 24, 40),
+                AxisSpec("k", 6),
+                AxisSpec("ts", (1, 2, 3, 4)),
+                AxisSpec("trials", 3, 20),
+            ),
+            plan="connectivity-resilience",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="ablation-rounds",
+            title="NECTAR cost vs round budget (DESIGN.md §5.1)",
+            axes=(AxisSpec("n", 24), AxisSpec("k", 4)),
+            plan="ablation-rounds",
+            capabilities=_SWEEP,
+            scale_noted=False,
+        ),
+        SweepSpec(
+            figure_id="ablation-spam",
+            title="Announcement spam vs dedup (DESIGN.md §5.2)",
+            axes=(
+                AxisSpec("n", 20),
+                AxisSpec("k", 4),
+                AxisSpec("spammers", (0, 1, 2)),
+            ),
+            plan="ablation-spam",
+            capabilities=_SWEEP,
+            scale_noted=False,
+        ),
+        SweepSpec(
+            figure_id="ablation-batching",
+            title="Envelope batching on vs off (DESIGN.md §5.3)",
+            axes=(AxisSpec("n", 20), AxisSpec("k", 4)),
+            plan="ablation-batching",
+            capabilities=_SWEEP,
+            scale_noted=False,
+        ),
+        SweepSpec(
+            figure_id="ablation-sigsize",
+            title="Signature size profiles (DESIGN.md §5.4)",
+            axes=(
+                AxisSpec("n", 20),
+                AxisSpec("k", 4),
+                AxisSpec("profiles", ("compact", "ecdsa")),
+            ),
+            plan="ablation-sigsize",
+            capabilities=_SWEEP,
+            scale_noted=False,
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Resolve, execute and assemble declarative sweeps.
+
+    One engine instance (:data:`SWEEP_ENGINE`) serves the whole
+    process; it is stateless, so sharing is free.
+    """
+
+    def resolve(
+        self,
+        spec: SweepSpec | str,
+        scale: str = "auto",
+        overrides: Mapping[str, object] | None = None,
+        seed_mode: str | None = None,
+        base_seed: int = 0,
+    ) -> ResolvedSweep:
+        """Bind a spec to concrete axis values.
+
+        Args:
+            spec: a :class:`SweepSpec` or a :data:`FIGURE_SPECS` id.
+            scale: ``"reduced"``, ``"paper"`` or ``"auto"`` (paper when
+                ``REPRO_FULL=1``, else reduced).
+            overrides: axis name -> value replacements; sequence values
+                are normalised to tuples and wire profiles to registry
+                names.  Unknown names raise :class:`ExperimentError`.
+            seed_mode: override the spec's seed policy.
+            base_seed: base for ``"hashed"`` seed derivation.
+        """
+        spec = self._spec_of(spec)
+        if scale == "auto":
+            scale = "paper" if paper_scale() else "reduced"
+        if scale not in ("reduced", "paper"):
+            raise ExperimentError(f"unknown scale {scale!r}")
+        params = {axis.name: axis.value(scale) for axis in spec.axes}
+        for name, value in (overrides or {}).items():
+            axis = spec.axis(name)  # raises on unknown axes
+            params[name] = self._normalise(axis, value)
+        mode = seed_mode if seed_mode is not None else spec.seed_mode
+        if mode not in ("index", "hashed"):
+            raise ExperimentError(f"unknown seed mode {mode!r}")
+        return ResolvedSweep(
+            spec=spec,
+            scale=scale,
+            params=params,
+            seed_mode=mode,
+            base_seed=base_seed,
+        )
+
+    def plan(self, resolved: ResolvedSweep) -> FigurePlan:
+        """Expand a resolved sweep into its figure shell and cells."""
+        builder = _PLANS[resolved.spec.plan]
+        params = dict(resolved.params)
+        params["_scale"] = resolved.scale
+        params["_scale_noted"] = resolved.spec.scale_noted
+        params["_seed_mode"] = resolved.seed_mode
+        params["_base_seed"] = resolved.base_seed
+        return builder(params)
+
+    def run(
+        self,
+        spec: SweepSpec | str | ResolvedSweep,
+        scale: str = "auto",
+        overrides: Mapping[str, object] | None = None,
+        workers: int | None = None,
+        seed_mode: str | None = None,
+        base_seed: int = 0,
+    ) -> FigureData:
+        """Execute one sweep and return its figure.
+
+        All cells of all groups go through :func:`execute_trial` via a
+        single :func:`parallel_map` call, so ``workers`` shards every
+        registered figure; rows are bit-identical for any worker count
+        because each cell's randomness is explicit in its spec.
+        """
+        if isinstance(spec, ResolvedSweep):
+            if (
+                scale != "auto"
+                or overrides
+                or seed_mode is not None
+                or base_seed != 0
+            ):
+                raise ExperimentError(
+                    "run() received an already-resolved sweep together with "
+                    "resolution arguments; pass them to resolve() instead"
+                )
+            resolved = spec
+        else:
+            resolved = self.resolve(
+                spec,
+                scale=scale,
+                overrides=overrides,
+                seed_mode=seed_mode,
+                base_seed=base_seed,
+            )
+        plan = self.plan(resolved)
+        cells = [cell for group in plan.groups for cell in group.cells]
+        values = parallel_map(execute_trial, cells, workers=workers)
+        cursor = 0
+        for group in plan.groups:
+            samples = values[cursor : cursor + len(group.cells)]
+            cursor += len(group.cells)
+            plan.figure.series_named(group.series).add(group.x, samples)
+        if plan.finalize is not None:
+            plan.finalize(plan.figure)
+        return plan.figure
+
+    @staticmethod
+    def _spec_of(spec: SweepSpec | str) -> SweepSpec:
+        if isinstance(spec, SweepSpec):
+            return spec
+        registered = FIGURE_SPECS.get(spec)
+        if registered is None:
+            raise ExperimentError(
+                f"unknown figure {spec!r}; known: {sorted(FIGURE_SPECS)}"
+            )
+        return registered
+
+    @staticmethod
+    def _normalise(axis: AxisSpec, value):
+        """Canonicalise one override against its axis default.
+
+        Profiles become registry names, sequences become tuples, and
+        numeric types follow the default's shape — a bare scalar on a
+        sequence axis is wrapped, ints on a float axis become floats —
+        so equivalent inputs from any source (wrapper kwargs, ``--set``
+        text, JSON spec files) resolve to the same params and the same
+        spec digest.
+        """
+        if isinstance(value, WireProfile):
+            return profile_name(value)
+        if isinstance(value, str):
+            if axis.name == "profile":
+                return profile_name(value)
+        elif isinstance(value, Sequence):
+            value = tuple(
+                profile_name(v) if isinstance(v, WireProfile) else v for v in value
+            )
+        default = axis.reduced
+        element = default[0] if isinstance(default, tuple) and default else default
+        if isinstance(element, float) and not isinstance(element, bool):
+            if isinstance(value, tuple):
+                value = tuple(
+                    float(v) if isinstance(v, int) and not isinstance(v, bool) else v
+                    for v in value
+                )
+            elif isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)
+        if isinstance(default, tuple) and not isinstance(value, tuple):
+            value = (value,)
+        elif not isinstance(default, tuple) and isinstance(value, tuple):
+            raise ExperimentError(
+                f"axis {axis.name!r} takes a single value, got {value!r}"
+            )
+        return value
+
+
+#: the process-wide engine.
+SWEEP_ENGINE = SweepEngine()
+
+
+def run_figure(
+    figure_id: str,
+    scale: str = "auto",
+    overrides: Mapping[str, object] | None = None,
+    workers: int | None = None,
+) -> FigureData:
+    """Convenience wrapper: run one registered figure by id."""
+    return SWEEP_ENGINE.run(
+        figure_id, scale=scale, overrides=overrides, workers=workers
+    )
+
+
+__all__ = [
+    "ADVERSARIES",
+    "AxisSpec",
+    "CellGroup",
+    "FIGURE_SPECS",
+    "FigurePlan",
+    "PROFILES",
+    "PROTOCOLS",
+    "ResolvedSweep",
+    "SWEEP_ENGINE",
+    "SweepEngine",
+    "SweepSpec",
+    "TopologySpec",
+    "TrialSpec",
+    "attack_rates",
+    "execute_trial",
+    "paper_scale",
+    "profile_name",
+    "register_profile",
+    "run_figure",
+]

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import FIGURES, main
+from repro.cli import main
+from repro.experiments.persistence import load_figure_record, spec_digest
+from repro.experiments.spec import FIGURE_SPECS
 
 
 class TestCheck:
@@ -51,11 +55,173 @@ class TestFigure:
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "topology-comparison", "connectivity-resilience",
         ):
-            assert name in FIGURES
+            assert name in FIGURE_SPECS
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+    def test_set_overrides_axis(self, capsys):
+        code = main(["figure", "fig3", "--set", "ns=8,10", "--set", "ks=2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Nectar: k = 2" in out
+        assert "k = 6" not in out
+
+    def test_full_flag_selects_paper_scale(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        code = main(
+            ["figure", "fig3", "--full", "--set", "ns=8,10", "--set", "ks=2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "paper-scale run" in out
+
+    def test_full_noted_without_paper_preset(self, capsys):
+        code = main(["figure", "ablation-sigsize", "--full", "--set", "n=10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no paper-scale preset" in out
+
+    def test_out_writes_figure_json(self, capsys, tmp_path):
+        target = tmp_path / "sigsize.json"
+        code = main(
+            ["figure", "ablation-sigsize", "--set", "n=10", "--out", str(target)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(target) in out
+        figure, spec = load_figure_record(target.read_text())
+        assert figure.figure_id == "ablation-sigsize"
+        assert spec["axes"]["n"] == 10
+
+    def test_bad_set_syntax_reports_error(self, capsys):
+        code = main(["figure", "fig3", "--set", "nonsense"])
+        assert code == 2
+        assert "AXIS=VALUE" in capsys.readouterr().out
+
+    def test_unknown_axis_reports_error(self, capsys):
+        code = main(["figure", "fig3", "--set", "bogus=1"])
+        assert code == 2
+        assert "unknown axis" in capsys.readouterr().out
+
+
+class TestSweep:
+    FAST = ["--set", "ns=8,10", "--set", "ks=2"]
+
+    def test_sweep_runs_and_prints_digest(self, capsys):
+        code = main(["sweep", "fig3", *self.FAST])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep : fig3 (reduced scale" in out
+        assert "spec  : " in out
+        assert "Nectar: k = 2" in out
+
+    def test_out_directory_keys_by_spec_hash(self, capsys, tmp_path):
+        code = main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        assert code == 0
+        capsys.readouterr()
+        files = list(tmp_path.glob("fig3-*.json"))
+        assert len(files) == 1
+        figure, spec = load_figure_record(files[0].read_text())
+        assert figure.figure_id == "fig3"
+        # The file name embeds the digest of the embedded spec.
+        assert files[0].name == f"fig3-{spec_digest(spec)[:12]}.json"
+
+    def test_spec_file_round_trips_through_same_key(self, capsys, tmp_path):
+        code = main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        assert code == 0
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps({"figure": "fig3", "set": {"ns": [8, 10], "ks": [2]}})
+        )
+        code = main(["sweep", "--spec", str(spec_file), "--out", str(tmp_path)])
+        assert code == 0
+        capsys.readouterr()
+        # Identical resolved spec -> identical hash -> one artefact.
+        assert len(list(tmp_path.glob("fig3-*.json"))) == 1
+
+    def test_different_axes_land_in_different_files(self, capsys, tmp_path):
+        main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        main(
+            ["sweep", "fig3", "--set", "ns=8,12", "--set", "ks=2",
+             "--out", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("fig3-*.json"))) == 2
+
+    def test_workers_produce_identical_artefact(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        main(["sweep", "fig3", *self.FAST, "--out", str(serial)])
+        main(
+            ["sweep", "fig3", *self.FAST, "--workers", "2",
+             "--out", str(sharded)]
+        )
+        capsys.readouterr()
+        assert serial.read_text() == sharded.read_text()
+
+    def test_hashed_seed_mode_changes_digest(self, capsys, tmp_path):
+        main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        main(
+            ["sweep", "fig3", *self.FAST, "--seed-mode", "hashed",
+             "--out", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("fig3-*.json"))) == 2
+
+    def test_list_describes_registry(self, capsys):
+        code = main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for figure_id in FIGURE_SPECS:
+            assert figure_id in out
+        assert "capabilities" in out
+
+    def test_missing_name_and_spec_rejected(self, capsys):
+        code = main(["sweep"])
+        assert code == 2
+        assert "figure id" in capsys.readouterr().out
+
+    def test_conflicting_name_and_spec_rejected(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"figure": "fig4"}))
+        code = main(["sweep", "fig3", "--spec", str(spec_file)])
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().out
+
+    def test_malformed_spec_file_rejected(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("[1, 2, 3]")
+        code = main(["sweep", "--spec", str(spec_file)])
+        assert code == 2
+        assert "figure" in capsys.readouterr().out
+
+    def test_spec_file_with_unknown_keys_rejected(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"figure": "fig3", "sets": {"ns": [8]}}))
+        code = main(["sweep", "--spec", str(spec_file)])
+        assert code == 2
+        assert "unknown keys" in capsys.readouterr().out
+
+    def test_spec_file_with_non_object_set_rejected(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"figure": "fig3", "set": [1, 2]}))
+        code = main(["sweep", "--spec", str(spec_file)])
+        assert code == 2
+        assert "axis overrides" in capsys.readouterr().out
+
+    def test_spec_file_with_bad_base_seed_rejected(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"figure": "fig3", "base_seed": "x"}))
+        code = main(["sweep", "--spec", str(spec_file)])
+        assert code == 2
+        assert "base_seed" in capsys.readouterr().out
+
+    def test_sequence_on_scalar_axis_reports_error(self, capsys):
+        code = main(["sweep", "fig8", "--set", "n=11,13"])
+        assert code == 2
+        assert "single value" in capsys.readouterr().out
 
 
 class TestFigureSpark:

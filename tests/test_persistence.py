@@ -9,6 +9,9 @@ from repro.experiments.persistence import (
     figure_from_dict,
     figure_to_dict,
     load_figure_json,
+    load_figure_record,
+    save_figure,
+    spec_digest,
 )
 from repro.experiments.report import FigureData
 
@@ -68,3 +71,50 @@ class TestCsv:
         assert text.strip().splitlines() == [
             "figure_id,series,x,mean,ci_half_width,trials"
         ]
+
+
+class TestSpecKeyedPersistence:
+    SPEC = {
+        "figure": "figX",
+        "scale": "reduced",
+        "axes": {"ns": [8, 10]},
+        "seed_mode": "index",
+        "base_seed": 0,
+    }
+
+    def test_digest_is_stable_and_order_insensitive(self):
+        digest = spec_digest(self.SPEC)
+        reordered = dict(reversed(list(self.SPEC.items())))
+        assert spec_digest(reordered) == digest
+        changed = dict(self.SPEC, scale="paper")
+        assert spec_digest(changed) != digest
+
+    def test_unserialisable_spec_rejected(self):
+        with pytest.raises(ExperimentError):
+            spec_digest({"figure": object()})
+
+    def test_embedded_spec_round_trips(self, figure):
+        text = dump_figure_json(figure, spec=self.SPEC)
+        rebuilt, spec = load_figure_record(text)
+        assert spec == self.SPEC
+        assert rebuilt.render() == figure.render()
+        # Spec-less files still load, with no spec attached.
+        assert load_figure_record(dump_figure_json(figure))[1] is None
+
+    def test_plain_loader_tolerates_embedded_spec(self, figure):
+        rebuilt = load_figure_json(dump_figure_json(figure, spec=self.SPEC))
+        assert rebuilt.figure_id == figure.figure_id
+
+    def test_save_figure_keys_by_digest(self, figure, tmp_path):
+        path = save_figure(figure, tmp_path, spec=self.SPEC)
+        assert path.name == f"figX-{spec_digest(self.SPEC)[:12]}.json"
+        assert path.parent == tmp_path
+        # Saving the same spec again overwrites, a new spec does not.
+        assert save_figure(figure, tmp_path, spec=self.SPEC) == path
+        other = save_figure(figure, tmp_path, spec=dict(self.SPEC, scale="paper"))
+        assert other != path
+        assert len(list(tmp_path.glob("figX-*.json"))) == 2
+
+    def test_save_figure_without_spec_uses_plain_name(self, figure, tmp_path):
+        path = save_figure(figure, tmp_path)
+        assert path.name == "figX.json"
