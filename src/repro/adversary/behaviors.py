@@ -50,6 +50,17 @@ from repro.net.simulator import RoundProtocol
 from repro.types import NodeId
 
 
+#: The ``mixed`` adversary profile (a registered
+#: :data:`repro.experiments.spec.ADVERSARIES` value): a heterogeneous
+#: coalition where Byzantine nodes, in id order, cycle through these
+#: behaviours instead of all misbehaving identically.  "May deviate
+#: arbitrarily" (Sec. II) includes deviating *differently* — a
+#: coalition mixing partition-hiding bridges, crashed nodes and
+#: traffic spammers is the realistic worst case the homogeneous
+#: profiles bound from each side.
+MIXED_ADVERSARY_CYCLE: tuple[str, ...] = ("two-faced", "silent", "spam")
+
+
 class SilentNode(RoundProtocol):
     """A Byzantine node that sends nothing at all (crash-like).
 

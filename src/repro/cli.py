@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the everyday uses of the library::
+The subcommands cover the everyday uses of the library::
 
     python -m repro check --family harary --n 20 --k 4 --t 1
     python -m repro check --drone --n 20 --distance 3.0 --radius 1.8 --t 2
     python -m repro figure fig8 --full --out out/
     python -m repro sweep fig3 --set n=40 --set ks=2,4,6 --workers 4
+    python -m repro sweep fig3 --set env.loss_rate=0.4 --csv rows.csv
+    python -m repro diff out/fig3-abc.json out/fig3-def.json
     python -m repro topologies --n 24 --k 4
     python -m repro attack --n 21 --t 2
 
@@ -13,7 +15,10 @@ Five subcommands cover the everyday uses of the library::
 against t Byzantine nodes? — with NECTAR's verdict and the run's
 cost.  ``figure`` regenerates one paper artefact.  ``sweep`` runs any
 registered figure with declarative axis overrides (``--set``) or a
-JSON spec file, persisting results keyed by a stable spec hash.
+JSON spec file, persisting results keyed by a stable spec hash;
+``--set env.<field>=value`` addresses the environment layer (channel
+model, backend, validation — DESIGN.md §8) on every sweep.  ``diff``
+compares two archived artefacts row by row (exit 1 on divergence).
 ``topologies`` describes every built-in family.  ``attack`` replays
 the Fig. 8 scenario once and prints who got fooled.
 
@@ -32,7 +37,9 @@ import pathlib
 from typing import Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments.diff import diff_artefacts
 from repro.experiments.persistence import (
+    dump_figure_csv,
     dump_figure_json,
     save_figure,
     spec_digest,
@@ -45,6 +52,7 @@ from repro.experiments.spec import (
     SWEEP_ENGINE,
     ResolvedSweep,
     attack_rates,
+    environment_axis_names,
 )
 from repro.graphs.analysis import summarize
 from repro.graphs.generators.drone import drone_graph
@@ -75,7 +83,9 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         metavar="AXIS=VALUE",
         help=(
             "override one sweep axis, e.g. --set n=40 --set ks=2,4,6; "
-            "repeatable (comma-separated values become sequences)"
+            "repeatable (comma-separated values become sequences). "
+            "env.<field> axes address the environment layer on every "
+            "sweep, e.g. --set env.loss_rate=0.4 --set env.backend=async"
         ),
     )
     parser.add_argument(
@@ -86,6 +96,11 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
             "stores a spec-hash-keyed file, anything else is the exact "
             "output path"
         ),
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also export the rows as flat CSV (one row per series point)",
     )
     parser.add_argument(
         "--workers",
@@ -168,6 +183,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base seed for --seed-mode hashed (default 0)",
     )
     _add_sweep_options(sweep)
+
+    diff = commands.add_parser(
+        "diff",
+        help="compare two archived figure artefacts (exit 1 on divergence)",
+    )
+    diff.add_argument("artefact_a", metavar="A", help="baseline figure JSON")
+    diff.add_argument("artefact_b", metavar="B", help="candidate figure JSON")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help=(
+            "absolute slack on mean/CI comparisons (default 0.0: "
+            "bit-identical rows)"
+        ),
+    )
 
     drone_map = commands.add_parser(
         "map", help="render a drone deployment as an ASCII map"
@@ -262,6 +294,14 @@ def _persist(figure: FigureData, resolved: ResolvedSweep, out: str) -> pathlib.P
     return target
 
 
+def _persist_csv(figure: FigureData, out: str) -> pathlib.Path:
+    """Write the flat CSV rows per the --csv option."""
+    target = pathlib.Path(out)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dump_figure_csv(figure))
+    return target
+
+
 def _render_figure(figure: FigureData, spark: bool = False) -> None:
     print(figure.render())
     if spark:
@@ -284,6 +324,8 @@ def _run_figure(args: argparse.Namespace) -> int:
     _render_figure(figure, spark=args.spark)
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out)}")
+    if args.csv:
+        print(f"csv  : {_persist_csv(figure, args.csv)}")
     return 0
 
 
@@ -327,6 +369,10 @@ def _list_sweeps() -> int:
         capabilities = ",".join(sorted(spec.capabilities))
         print(f"  {figure_id:<24} {spec.title}")
         print(f"  {'':<24} axes: {axes}  capabilities: {capabilities}")
+    print(
+        "environment axes (valid on every sweep): "
+        + " ".join(environment_axis_names())
+    )
     return 0
 
 
@@ -371,7 +417,18 @@ def _run_sweep(args: argparse.Namespace) -> int:
     _render_figure(figure)
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out)}")
+    if args.csv:
+        print(f"csv  : {_persist_csv(figure, args.csv)}")
     return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    diff = diff_artefacts(
+        args.artefact_a, args.artefact_b, tolerance=args.tolerance
+    )
+    print(f"diff : {args.artefact_a} vs {args.artefact_b}")
+    print(diff.describe())
+    return 1 if diff.diverged else 0
 
 
 def _run_map(args: argparse.Namespace) -> int:
@@ -422,6 +479,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _run_check,
         "figure": _run_figure,
         "sweep": _run_sweep,
+        "diff": _run_diff,
         "map": _run_map,
         "topologies": _run_topologies,
         "attack": _run_attack,

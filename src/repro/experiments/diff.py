@@ -1,0 +1,162 @@
+"""Figure-diff: compare two archived figure artefacts row by row.
+
+Spec-hash-keyed persistence (:mod:`repro.experiments.persistence`)
+makes artefacts addressable; this module makes them *comparable* — the
+``repro diff`` command answers "did this sweep change?" with per-row
+deltas and a CI-friendly exit code (0 identical, 1 divergent).
+
+The comparison walks the flat row view — ``(series, x)`` keyed points
+— so re-ordered but value-identical artefacts do not diverge, and each
+divergence names exactly the row and field that moved.  Embedded spec
+digests are reported (they explain *why* rows differ) but do not by
+themselves count as divergence: two different specs may legitimately
+produce identical rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.persistence import load_figure_record, spec_digest
+from repro.experiments.report import FigureData, Point
+
+
+@dataclass(frozen=True)
+class RowDelta:
+    """One divergent figure row.
+
+    ``left`` / ``right`` is None when the row exists on one side only.
+    """
+
+    series: str
+    x: float
+    left: Point | None
+    right: Point | None
+
+    def describe(self) -> str:
+        key = f"{self.series} @ x={self.x:g}"
+        if self.left is None:
+            assert self.right is not None
+            return f"{key}: only in B (mean={self.right.mean:g})"
+        if self.right is None:
+            return f"{key}: only in A (mean={self.left.mean:g})"
+        parts = []
+        for attribute in ("mean", "ci_half_width", "trials"):
+            a, b = getattr(self.left, attribute), getattr(self.right, attribute)
+            if a != b:
+                delta = b - a
+                parts.append(f"{attribute} {a:g} -> {b:g} ({delta:+g})")
+        return f"{key}: " + ", ".join(parts)
+
+
+@dataclass
+class FigureDiff:
+    """The outcome of comparing two figure artefacts."""
+
+    deltas: list[RowDelta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    rows_compared: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.deltas)
+
+    def describe(self) -> str:
+        lines = list(self.notes)
+        for delta in self.deltas:
+            lines.append(f"  {delta.describe()}")
+        if self.diverged:
+            lines.append(
+                f"DIVERGED: {len(self.deltas)} of "
+                f"{self.rows_compared} rows differ"
+            )
+        else:
+            lines.append(f"identical: {self.rows_compared} rows match")
+        return "\n".join(lines)
+
+
+def _points_by_key(figure: FigureData) -> dict[tuple[str, float], Point]:
+    rows: dict[tuple[str, float], Point] = {}
+    for series in figure.series:
+        for point in series.points:
+            rows[(series.name, point.x)] = point
+    return rows
+
+
+def _points_equal(a: Point, b: Point, tolerance: float) -> bool:
+    if a.trials != b.trials:
+        return False
+    return (
+        abs(a.mean - b.mean) <= tolerance
+        and abs(a.ci_half_width - b.ci_half_width) <= tolerance
+    )
+
+
+def diff_figures(
+    left: FigureData,
+    right: FigureData,
+    left_spec: dict | None = None,
+    right_spec: dict | None = None,
+    tolerance: float = 0.0,
+) -> FigureDiff:
+    """Compare two figures row by row.
+
+    Args:
+        left, right: the figures (A and B of the CLI).
+        left_spec, right_spec: their embedded resolved-sweep payloads,
+            if any; digests are reported as context.
+        tolerance: absolute slack on mean / CI comparisons (trials
+            always compare exactly).  0.0 demands bit-identical rows —
+            the right default for spec-hash-keyed artefacts, whose
+            rows are pinned reproducible.
+    """
+    if tolerance < 0:
+        raise ExperimentError(f"tolerance cannot be negative, got {tolerance}")
+    diff = FigureDiff()
+    if left.figure_id != right.figure_id:
+        diff.notes.append(
+            f"note: comparing different figure ids "
+            f"({left.figure_id!r} vs {right.figure_id!r})"
+        )
+    if left_spec is not None and right_spec is not None:
+        a, b = spec_digest(left_spec), spec_digest(right_spec)
+        if a != b:
+            diff.notes.append(f"note: spec digests differ ({a[:12]} vs {b[:12]})")
+    rows_a = _points_by_key(left)
+    rows_b = _points_by_key(right)
+    diff.rows_compared = len(rows_a.keys() | rows_b.keys())
+    for key in sorted(rows_a.keys() | rows_b.keys()):
+        point_a, point_b = rows_a.get(key), rows_b.get(key)
+        if point_a is None or point_b is None:
+            diff.deltas.append(RowDelta(key[0], key[1], point_a, point_b))
+        elif not _points_equal(point_a, point_b, tolerance):
+            diff.deltas.append(RowDelta(key[0], key[1], point_a, point_b))
+    return diff
+
+
+def diff_artefacts(
+    path_a: str | pathlib.Path,
+    path_b: str | pathlib.Path,
+    tolerance: float = 0.0,
+) -> FigureDiff:
+    """Compare two figure JSON files (the ``repro diff`` entry point).
+
+    Raises:
+        ExperimentError: on unreadable or malformed artefacts.
+    """
+    figures = []
+    for path in (path_a, path_b):
+        try:
+            text = pathlib.Path(path).read_text()
+        except OSError as exc:
+            raise ExperimentError(f"cannot read artefact {path}: {exc}") from exc
+        figures.append(load_figure_record(text))
+    (left, left_spec), (right, right_spec) = figures
+    return diff_figures(
+        left, right, left_spec=left_spec, right_spec=right_spec, tolerance=tolerance
+    )
+
+
+__all__ = ["FigureDiff", "RowDelta", "diff_artefacts", "diff_figures"]

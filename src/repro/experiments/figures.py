@@ -45,6 +45,7 @@ __all__ = [
     "ablation_signature_size",
     "ablation_spam_dedup",
     "attack_rates",
+    "backend_comparison",
     "connectivity_resilience",
     "fig3_random_regular",
     "fig3_regular_cost",
@@ -53,6 +54,8 @@ __all__ = [
     "fig6_drone_scaling_nectar",
     "fig7_drone_scaling_mtgv2",
     "fig8_byzantine_resilience",
+    "mobility_resilience",
+    "nectar_under_loss",
     "paper_scale",
     "topology_cost_comparison",
 ]
@@ -235,6 +238,71 @@ def connectivity_resilience(
     return _run(
         "connectivity-resilience",
         {"families": families, "n": n, "k": k, "ts": ts, "trials": trials},
+        workers=workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Off-model environment scenarios (DESIGN.md §8)
+# ----------------------------------------------------------------------
+def nectar_under_loss(
+    loss_rates: Sequence[float] | None = None,
+    n: int | None = None,
+    t: int | None = None,
+    trials: int | None = None,
+    adversary: str | None = None,
+    workers: int | None = None,
+) -> FigureData:
+    """NECTAR's bridge-attack success rate under i.i.d. message loss.
+
+    Deliberately off-model (the paper's Sec. II requires reliable
+    channels); the regime MtG's own evaluation tolerates (Sec. VI-A).
+    ``adversary`` may be ``"two-faced"`` (default) or ``"mixed"``.
+    """
+    return _run(
+        "nectar-under-loss",
+        {
+            "loss_rates": loss_rates,
+            "n": n,
+            "t": t,
+            "trials": trials,
+            "adversary": adversary,
+        },
+        workers=workers,
+    )
+
+
+def backend_comparison(
+    ns: Sequence[int] | None = None,
+    k: int | None = None,
+    workers: int | None = None,
+) -> FigureData:
+    """NECTAR cost on the lock-step vs asyncio backends (byte parity)."""
+    return _run("backend-comparison", {"ns": ns, "k": k}, workers=workers)
+
+
+def mobility_resilience(
+    speeds: Sequence[float] | None = None,
+    n: int | None = None,
+    t: int | None = None,
+    trials: int | None = None,
+    adversary: str | None = None,
+    workers: int | None = None,
+) -> FigureData:
+    """Bridge-attack success rate over a random-waypoint MANET substrate.
+
+    Violates the paper's footnote-2 stability assumption: per round,
+    a channel only works while its endpoints are within radio reach.
+    """
+    return _run(
+        "mobility-resilience",
+        {
+            "speeds": speeds,
+            "n": n,
+            "t": t,
+            "trials": trials,
+            "adversary": adversary,
+        },
         workers=workers,
     )
 

@@ -22,11 +22,12 @@ from repro.crypto.proofs import NeighborhoodProof, make_proof
 from repro.crypto.signer import HmacScheme, NullScheme, SignatureScheme
 from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
 from repro.errors import ExperimentError
+from repro.experiments.envspec import DEFAULT_ENVIRONMENT, EnvironmentSpec
 from repro.graphs.analysis import correct_subgraph_partitioned
 from repro.graphs.connectivity import vertex_connectivity
 from repro.graphs.graph import Graph
-from repro.net.asyncio_net import AsyncCluster
-from repro.net.simulator import RoundProtocol, SyncNetwork
+from repro.net.channel import resolve_backend
+from repro.net.simulator import RoundProtocol
 from repro.net.stats import TrafficStats
 from repro.types import Edge, GroundTruth, NodeId
 
@@ -229,8 +230,17 @@ def run_trial(
     loss_rate: float = 0.0,
     verification_cache: bool | VerificationCache = True,
     quiescence_skip: bool = True,
+    env: EnvironmentSpec | None = None,
 ) -> TrialResult:
     """Run one complete trial.
+
+    This is a thin adapter over the environment layer (DESIGN.md §8):
+    the ``backend`` / ``loss_rate`` / ``quiescence_skip`` kwargs are
+    back-compat shorthand folded into an
+    :class:`~repro.experiments.envspec.EnvironmentSpec`, and execution
+    dispatches through the backend registry
+    (:data:`repro.net.channel.BACKENDS`) with the environment's
+    channel model attached.
 
     Args:
         graph: the topology G.
@@ -243,8 +253,9 @@ def run_trial(
         profile: wire profile for byte accounting.
         validation_mode: NECTAR validation mode.  ACCOUNTING is
             rejected when Byzantine nodes are present.
+            ``env.validation`` overrides this when set.
         connectivity_cutoff: NECTAR decision cutoff (must exceed t).
-        seed: deployment seed (keys).
+        seed: deployment seed (keys); also seeds the channel state.
         backend: ``"sync"`` (lock-step) or ``"async"`` (asyncio, real
             bytes through the codec).
         with_ground_truth: compute the :class:`GroundTruth` record.
@@ -258,13 +269,33 @@ def run_trial(
             of the trial, ``False`` disables caching (the historical
             uncached behaviour), or pass an instance to reuse/observe
             one.  Equivalence-tested: verdicts and traffic are
-            identical either way (DESIGN.md §6.1).
+            identical either way (DESIGN.md §6.1).  ``env.cache=False``
+            forces it off.
         quiescence_skip: forwardable switch for the sync scheduler's
-            quiescence short-circuit (DESIGN.md §6.2).
+            quiescence short-circuit (DESIGN.md §6.2).  Ignored when
+            ``env`` is given.
+        env: the full environment description.  Mutually exclusive
+            with non-default values of the three legacy kwargs above
+            (a conflicting specification raises instead of being
+            silently ignored).
 
     Raises:
         ExperimentError: on inconsistent parameters.
     """
+    if env is None:
+        env = EnvironmentSpec(
+            backend=backend, loss_rate=loss_rate, quiescence_skip=quiescence_skip
+        )
+    elif backend != "sync" or loss_rate != 0.0 or quiescence_skip is not True:
+        raise ExperimentError(
+            "pass backend/loss_rate/quiescence_skip through env=, "
+            "not alongside it"
+        )
+    env.validate()
+    if env.validation:
+        validation_mode = ValidationMode(env.validation)
+    if not env.cache:
+        verification_cache = False
     byzantine_factories = dict(byzantine_factories or {})
     byzantine = frozenset(byzantine_factories)
     if len(byzantine) > t and t > 0:
@@ -303,27 +334,17 @@ def run_trial(
         protocols[node_id] = factory(setup)
     if rounds is None:
         rounds = nectar_round_count(graph.n)
-    rounds_executed: int | None = None
-    if backend == "sync":
-        network = SyncNetwork(
-            graph,
-            protocols,
-            profile=profile,
-            loss_rate=loss_rate,
-            loss_seed=seed,
-            quiescence_skip=quiescence_skip,
-        )
-        verdicts = network.run(rounds)
-        stats = network.stats
-        rounds_executed = network.rounds_executed
-    elif backend == "async":
-        if loss_rate > 0.0:
-            raise ExperimentError("message loss is only modelled on the sync backend")
-        cluster = AsyncCluster(graph, protocols, profile=profile)
-        verdicts = cluster.run(rounds)
-        stats = cluster.stats
-    else:
-        raise ExperimentError(f"unknown backend {backend!r}")
+    network = resolve_backend(env.backend)(
+        graph,
+        protocols,
+        profile=profile,
+        channel=env.channel_model(),
+        seed=seed,
+        quiescence_skip=env.quiescence_skip,
+    )
+    verdicts = network.run(rounds)
+    stats = network.stats
+    rounds_executed: int | None = getattr(network, "rounds_executed", None)
     truth = None
     if with_ground_truth:
         truth = compute_ground_truth(
@@ -346,17 +367,21 @@ def nectar_cost_trial(
     rounds: int | None = None,
     seed: int = 0,
     validation_mode: ValidationMode = ValidationMode.ACCOUNTING,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
 ) -> TrialResult:
     """Adversary-free NECTAR run tuned for cost sweeps (Figs. 3-7).
 
     By default uses the accounting scheme and validation mode: byte
     counts are identical to a fully verified run, but no signature
     computation happens, which keeps the n = 100 sweeps tractable.
-    Pass ``validation_mode=ValidationMode.FULL`` to pay for real HMAC
-    signatures end to end (byte accounting still comes from
-    ``profile`` and is unchanged); the shared verification cache keeps
-    that tractable too (DESIGN.md §6.1).
+    Pass ``validation_mode=ValidationMode.FULL`` (or run with
+    ``env.validation="full"``) to pay for real HMAC signatures end to
+    end (byte accounting still comes from ``profile`` and is
+    unchanged); the shared verification cache keeps that tractable too
+    (DESIGN.md §6.1).
     """
+    if env.validation:
+        validation_mode = ValidationMode(env.validation)
     if validation_mode is ValidationMode.ACCOUNTING:
         scheme: SignatureScheme = NullScheme(signature_size=profile.signature_bytes)
     else:
@@ -372,6 +397,7 @@ def nectar_cost_trial(
         connectivity_cutoff=1,
         seed=seed,
         with_ground_truth=False,
+        env=env,
     )
 
 
@@ -381,6 +407,7 @@ def baseline_cost_trial(
     profile: WireProfile = DEFAULT_PROFILE,
     rounds: int | None = None,
     seed: int = 0,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
 ) -> TrialResult:
     """Adversary-free MtG/MtGv2 run for the cost sweeps.
 
@@ -404,4 +431,5 @@ def baseline_cost_trial(
         profile=profile,
         seed=seed,
         with_ground_truth=False,
+        env=env,
     )

@@ -8,10 +8,14 @@ by hand.  This module replaces that with *data*:
 * :class:`TopologySpec` — where a trial runs: a named topology family,
   a drone deployment, or one of the Sec. V-D attack scenarios.
 * :class:`TrialSpec` — one fully-described trial: topology × protocol
-  × adversary × knobs (wire profile, rounds, batching, spammers).
-  Protocols, adversaries and profiles are referenced *by name* through
-  registries, so a spec is plain picklable data and can cross process
-  boundaries, be hashed, or be written to JSON.
+  × adversary × environment × knobs (wire profile, rounds, batching,
+  spammers).  Protocols, adversaries, profiles, channel models and
+  backends are referenced *by name* through registries, so a spec is
+  plain picklable data and can cross process boundaries, be hashed,
+  or be written to JSON.  The environment
+  (:class:`~repro.experiments.envspec.EnvironmentSpec`, DESIGN.md §8)
+  is addressable on every sweep as ``env.*`` axes
+  (``--set env.loss_rate=0.4``, ``--set env.backend=async``).
 * :func:`execute_trial` — the single module-level cell executor every
   sweep shards through :func:`repro.experiments.parallel.parallel_map`.
 * :class:`SweepSpec` — a registered figure: named axes with reduced-
@@ -40,11 +44,13 @@ independent per-trial seeds via
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.adversary.behaviors import (
+    MIXED_ADVERSARY_CYCLE,
     SaturatingMtgNode,
+    SilentNode,
     SpamNectarNode,
     TwoFacedMtgv2Node,
     TwoFacedNectarNode,
@@ -63,6 +69,12 @@ from repro.crypto.sizes import (
 )
 from repro.errors import ExperimentError
 from repro.experiments.accuracy import success_rate
+from repro.experiments.envspec import (
+    DEFAULT_ENVIRONMENT,
+    EnvironmentSpec,
+    environment_axis_names,
+    environment_from_overrides,
+)
 from repro.experiments.parallel import parallel_map, trial_seeds
 from repro.experiments.report import FigureData
 from repro.experiments.runner import (
@@ -164,8 +176,10 @@ def _resolve_profile(name: str) -> WireProfile:
 PROTOCOLS: tuple[str, ...] = tuple(sorted(HONEST_FACTORIES))
 
 #: adversary names accepted by ``TrialSpec.adversary``; "" means an
-#: adversary-free cost trial.
-ADVERSARIES: tuple[str, ...] = ("", "two-faced", "saturating", "spam")
+#: adversary-free cost trial.  ``"mixed"`` is the heterogeneous
+#: coalition: bridge nodes cycle through
+#: :data:`repro.adversary.behaviors.MIXED_ADVERSARY_CYCLE` behaviours.
+ADVERSARIES: tuple[str, ...] = ("", "two-faced", "saturating", "spam", "mixed")
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +268,12 @@ class TrialSpec:
         measure: the scalar extracted from the trial —
             ``"mean-kb-sent"``, ``"correct-kb-sent"`` or
             ``"success-rate"``.
+        env: the execution environment — channel model × backend ×
+            validation/cache/quiescence knobs (DESIGN.md §8).  The
+            default is the paper's model (reliable synchronous
+            channels) and executes bit-identically to the
+            pre-environment code path; sweeps address its fields as
+            ``env.*`` axes.
     """
 
     topology: TopologySpec
@@ -265,15 +285,26 @@ class TrialSpec:
     batching: bool = True
     spammers: int = 0
     measure: str = "mean-kb-sent"
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT
 
 
 # ----------------------------------------------------------------------
 # The one cell executor
 # ----------------------------------------------------------------------
-def _two_faced_nectar_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
-    """Success rate of NECTAR under the two-faced bridge attack."""
-    t = scenario.t
+def _spam_nectar_factory(setup: NodeSetup) -> SpamNectarNode:
+    """A Byzantine announcement spammer (otherwise protocol-faithful)."""
+    return SpamNectarNode(
+        setup.node_id,
+        setup.n,
+        setup.t,
+        setup.key_store.key_pair_of(setup.node_id),
+        setup.scheme,
+        setup.key_store.directory,
+        setup.neighbor_proofs,
+    )
 
+
+def _two_faced_nectar_factory(scenario: BridgedPartitionScenario):
     def factory(setup: NodeSetup):
         return TwoFacedNectarNode(
             setup.node_id,
@@ -286,6 +317,17 @@ def _two_faced_nectar_rate(scenario: BridgedPartitionScenario, seed: int) -> flo
             silent_towards=scenario.silent_towards_of(setup.node_id),
         )
 
+    return factory
+
+
+def _two_faced_nectar_rate(
+    scenario: BridgedPartitionScenario,
+    seed: int,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
+) -> float:
+    """Success rate of NECTAR under the two-faced bridge attack."""
+    t = scenario.t
+    factory = _two_faced_nectar_factory(scenario)
     result = run_trial(
         scenario.graph,
         t=t,
@@ -294,11 +336,57 @@ def _two_faced_nectar_rate(scenario: BridgedPartitionScenario, seed: int) -> flo
         connectivity_cutoff=t + 1,
         seed=seed,
         ground_truth_cutoff=2 * t + 1,
+        env=env,
     )
     return success_rate(result.correct_verdicts, result.ground_truth)
 
 
-def _two_faced_mtgv2_rate(scenario: BridgedPartitionScenario, seed: int) -> float:
+def _mixed_nectar_rate(
+    scenario: BridgedPartitionScenario,
+    seed: int,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
+) -> float:
+    """Success rate of NECTAR against a heterogeneous coalition.
+
+    The ``mixed`` adversary profile: the Byzantine bridges do not all
+    misbehave the same way — in bridge-id order they cycle through
+    :data:`~repro.adversary.behaviors.MIXED_ADVERSARY_CYCLE`
+    (two-faced, silent, spamming), the coalition a real attacker with
+    heterogeneous footholds would field.
+    """
+    t = scenario.t
+    two_faced = _two_faced_nectar_factory(scenario)
+
+    def silent(setup: NodeSetup):
+        return SilentNode(setup.node_id)
+
+    behaviours = {
+        "two-faced": two_faced,
+        "silent": silent,
+        "spam": _spam_nectar_factory,
+    }
+    byzantine_factories = {
+        b: behaviours[MIXED_ADVERSARY_CYCLE[i % len(MIXED_ADVERSARY_CYCLE)]]
+        for i, b in enumerate(sorted(scenario.byzantine))
+    }
+    result = run_trial(
+        scenario.graph,
+        t=t,
+        byzantine_factories=byzantine_factories,
+        honest_factory=honest_nectar_factory,
+        connectivity_cutoff=t + 1,
+        seed=seed,
+        ground_truth_cutoff=2 * t + 1,
+        env=env,
+    )
+    return success_rate(result.correct_verdicts, result.ground_truth)
+
+
+def _two_faced_mtgv2_rate(
+    scenario: BridgedPartitionScenario,
+    seed: int,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
+) -> float:
     """Success rate of MtGv2 under the two-faced bridge attack."""
 
     def factory(setup: NodeSetup):
@@ -319,6 +407,7 @@ def _two_faced_mtgv2_rate(scenario: BridgedPartitionScenario, seed: int) -> floa
         honest_factory=honest_mtgv2_factory,
         seed=seed,
         ground_truth_cutoff=2 * scenario.t + 1,
+        env=env,
     )
     return success_rate(result.correct_verdicts, result.ground_truth)
 
@@ -327,7 +416,13 @@ def _saturating_mtg_factory(setup: NodeSetup) -> MtgNode:
     return SaturatingMtgNode(setup.node_id, setup.n, setup.neighbors)
 
 
-def _saturation_rate(graph: Graph, byzantine, t: int, seed: int) -> float:
+def _saturation_rate(
+    graph: Graph,
+    byzantine,
+    t: int,
+    seed: int,
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
+) -> float:
     """Success rate of MtG under the filter-saturation attack."""
     result = run_trial(
         graph,
@@ -336,6 +431,7 @@ def _saturation_rate(graph: Graph, byzantine, t: int, seed: int) -> float:
         honest_factory=honest_mtg_factory,
         seed=seed,
         ground_truth_cutoff=2 * t + 1,
+        env=env,
     )
     return success_rate(result.correct_verdicts, result.ground_truth)
 
@@ -347,19 +443,7 @@ def _spam_kb_sent(spec: TrialSpec) -> float:
             f"spam trials measure correct-kb-sent, got {spec.measure!r}"
         )
     graph = spec.topology.build()
-    byzantine = {}
-    for b in range(spec.spammers):
-        def factory(setup: NodeSetup, _b=b):
-            return SpamNectarNode(
-                setup.node_id,
-                setup.n,
-                setup.t,
-                setup.key_store.key_pair_of(setup.node_id),
-                setup.scheme,
-                setup.key_store.directory,
-                setup.neighbor_proofs,
-            )
-        byzantine[b] = factory
+    byzantine = {b: _spam_nectar_factory for b in range(spec.spammers)}
     t = max(1, spec.spammers)
     result = run_trial(
         graph,
@@ -368,6 +452,7 @@ def _spam_kb_sent(spec: TrialSpec) -> float:
         connectivity_cutoff=t + 1,
         seed=spec.seed,
         with_ground_truth=False,
+        env=spec.env,
     )
     correct = [v for v in graph.nodes() if v not in result.byzantine]
     return result.stats.mean_kb_sent(correct)
@@ -399,6 +484,7 @@ def _unbatched_kb_sent(spec: TrialSpec, graph: Graph) -> float:
         profile=profile,
         validation_mode=ValidationMode.ACCOUNTING,
         with_ground_truth=False,
+        env=spec.env,
     )
     return result.mean_kb_sent()
 
@@ -427,6 +513,7 @@ def execute_trial(spec: TrialSpec) -> float:
                 profile=_resolve_profile(spec.profile),
                 rounds=spec.rounds or None,
                 seed=spec.seed,
+                env=spec.env,
             )
             return result.mean_kb_sent()
         if spec.protocol in ("mtg", "mtgv2"):
@@ -436,6 +523,7 @@ def execute_trial(spec: TrialSpec) -> float:
                 profile=_resolve_profile(spec.profile),
                 rounds=spec.rounds or None,
                 seed=spec.seed,
+                env=spec.env,
             )
             return result.mean_kb_sent()
         raise ExperimentError(f"unknown protocol {spec.protocol!r}")
@@ -452,12 +540,19 @@ def execute_trial(spec: TrialSpec) -> float:
     if spec.adversary == "two-faced":
         scenario = top.build_scenario()
         if spec.protocol == "nectar":
-            return _two_faced_nectar_rate(scenario, seed=spec.seed)
+            return _two_faced_nectar_rate(scenario, seed=spec.seed, env=spec.env)
         if spec.protocol == "mtgv2":
-            return _two_faced_mtgv2_rate(scenario, seed=spec.seed)
+            return _two_faced_mtgv2_rate(scenario, seed=spec.seed, env=spec.env)
         raise ExperimentError(
             f"two-faced adversary targets nectar/mtgv2, got {spec.protocol!r}"
         )
+    if spec.adversary == "mixed":
+        if spec.protocol != "nectar":
+            raise ExperimentError(
+                f"mixed adversary targets nectar, got {spec.protocol!r}"
+            )
+        scenario = top.build_scenario()
+        return _mixed_nectar_rate(scenario, seed=spec.seed, env=spec.env)
     if spec.adversary == "saturating":
         if spec.protocol != "mtg":
             raise ExperimentError(
@@ -468,11 +563,19 @@ def execute_trial(spec: TrialSpec) -> float:
                 top.n, top.t, top.radius, seed=top.seed
             )
             return _saturation_rate(
-                deployment.graph, deployment.byzantine, top.t, seed=spec.seed
+                deployment.graph,
+                deployment.byzantine,
+                top.t,
+                seed=spec.seed,
+                env=spec.env,
             )
         scenario = top.build_scenario()
         return _saturation_rate(
-            scenario.graph, scenario.byzantine, scenario.t, seed=spec.seed
+            scenario.graph,
+            scenario.byzantine,
+            scenario.t,
+            seed=spec.seed,
+            env=spec.env,
         )
     raise ExperimentError(f"unknown adversary {spec.adversary!r}")
 
@@ -610,23 +713,39 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class ResolvedSweep:
-    """A spec bound to a concrete scale, axis values and seed policy."""
+    """A spec bound to a concrete scale, axis values and seed policy.
+
+    ``env`` carries the sweep-wide environment from ``env.*`` axis
+    overrides and ``env_fields`` records which fields were explicitly
+    set (an explicit default — ``env.loss_rate=0.0`` on a lossy
+    scenario — is a real override, not a no-op).  Untouched
+    environments are omitted from :meth:`payload`, so pre-environment
+    spec digests (and the artefacts keyed by them) are unchanged.
+    """
 
     spec: SweepSpec
     scale: str
     params: Mapping[str, object]
     seed_mode: str = "index"
     base_seed: int = 0
+    env: EnvironmentSpec = DEFAULT_ENVIRONMENT
+    env_fields: tuple[str, ...] = ()
 
     def payload(self) -> dict:
         """A canonical JSON-safe description (the spec-hash input)."""
-        return {
+        payload = {
             "figure": self.spec.figure_id,
             "scale": self.scale,
             "axes": {name: _jsonify(value) for name, value in self.params.items()},
             "seed_mode": self.seed_mode,
             "base_seed": self.base_seed,
         }
+        env_payload = self.env.payload()  # non-default fields
+        for name in self.env_fields:  # plus explicitly-set defaults
+            env_payload.setdefault(name, getattr(self.env, name))
+        if env_payload:
+            payload["env"] = {name: env_payload[name] for name in sorted(env_payload)}
+        return payload
 
 
 def _jsonify(value):
@@ -1158,7 +1277,172 @@ def _plan_ablation_sigsize(params: dict) -> FigurePlan:
 
 
 # ----------------------------------------------------------------------
-# The registry: 13 figures, declaratively
+# Off-model scenarios (DESIGN.md §8): environment-layer workloads
+# ----------------------------------------------------------------------
+@_plan("nectar-under-loss")
+def _plan_nectar_under_loss(params: dict) -> FigurePlan:
+    """NECTAR's bridge-attack resilience when channels drop messages.
+
+    The paper's model requires reliable channels; MtG's evaluation
+    tolerates 40% loss (Sec. VI-A).  This sweep deliberately runs
+    NECTAR off-model: the Fig. 8 two-faced bridge attack (or the
+    ``mixed`` coalition) under i.i.d. per-message loss.
+    """
+    n, t, radius, loss_rates, trials, adversary = (
+        params["n"],
+        params["t"],
+        params["radius"],
+        params["loss_rates"],
+        params["trials"],
+        params["adversary"],
+    )
+    figure = _new_figure(
+        "nectar-under-loss",
+        f"NECTAR vs {adversary} bridges under message loss (n={n}, t={t})",
+        "loss rate",
+        "success rate of correct decision",
+        params,
+    )
+    figure.notes.append(
+        "off-model: the paper's model assumes reliable channels (Sec. II)"
+    )
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+    for loss_rate in loss_rates:
+        env = (
+            EnvironmentSpec(channel="lossy", loss_rate=loss_rate)
+            if loss_rate > 0.0
+            else DEFAULT_ENVIRONMENT
+        )
+        cells = tuple(
+            TrialSpec(
+                topology=TopologySpec(
+                    kind="bridged-drone", n=n, t=t, radius=radius, seed=seed
+                ),
+                protocol="nectar",
+                adversary=adversary,
+                seed=seed,
+                measure="success-rate",
+                env=env,
+            )
+            for seed in seeds
+        )
+        plan.groups.append(CellGroup("Nectar", loss_rate, cells))
+    return plan
+
+
+@_plan("backend-comparison")
+def _plan_backend_comparison(params: dict) -> FigurePlan:
+    """Cost parity of the two execution backends at growing n.
+
+    One series per registered backend; the asyncio backend ships real
+    bytes through the codec (the paper's "real code" leg, Sec. V-B),
+    so equal means here pin the codec's byte accounting to the
+    lock-step simulator's.
+    """
+    ns, k = params["ns"], params["k"]
+    figure = _new_figure(
+        "backend-comparison",
+        f"NECTAR cost across execution backends (Harary k={k})",
+        "n",
+        "KB sent per node",
+        params,
+    )
+    for backend in ("sync", "async"):
+        figure.series_named(backend)  # pin series order
+    plan = FigurePlan(figure)
+    for backend in ("sync", "async"):
+        env = (
+            DEFAULT_ENVIRONMENT
+            if backend == "sync"
+            else EnvironmentSpec(backend=backend)
+        )
+        for n in ns:
+            plan.groups.append(
+                CellGroup(
+                    backend,
+                    n,
+                    (
+                        TrialSpec(
+                            topology=TopologySpec(
+                                kind="family", family="harary", n=n, k=k
+                            ),
+                            protocol="nectar",
+                            env=env,
+                        ),
+                    ),
+                )
+            )
+
+    def finalize(figure: FigureData) -> None:
+        by_name = {series.name: series for series in figure.series}
+        sync_rows = [(p.x, p.mean) for p in by_name["sync"].points]
+        async_rows = [(p.x, p.mean) for p in by_name["async"].points]
+        if sync_rows == async_rows:
+            figure.notes.append("sync ≡ async: identical bytes per node at every n")
+        else:  # pragma: no cover - guarded by the equivalence suite
+            figure.notes.append("BACKEND DIVERGENCE: sync and async rows differ")
+
+    plan.finalize = finalize
+    return plan
+
+
+@_plan("mobility-resilience")
+def _plan_mobility_resilience(params: dict) -> FigurePlan:
+    """Bridge-attack resilience over an evolving MANET substrate.
+
+    The mobility channel violates the paper's footnote-2 stability
+    assumption: per round, a channel of G only works while its
+    endpoints are within radio reach on a random-waypoint trajectory.
+    Faster missions mean more churn in which links function.
+    """
+    n, t, radius, speeds, trials, adversary = (
+        params["n"],
+        params["t"],
+        params["radius"],
+        params["speeds"],
+        params["trials"],
+        params["adversary"],
+    )
+    figure = _new_figure(
+        "mobility-resilience",
+        f"NECTAR vs {adversary} bridges on a mobile substrate (n={n}, t={t})",
+        "node speed per round",
+        "success rate of correct decision",
+        params,
+    )
+    figure.notes.append(
+        "off-model: per-round link availability from a random-waypoint "
+        "mission (footnote 2 assumes topology stability)"
+    )
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+    for speed in speeds:
+        env = EnvironmentSpec(
+            channel="mobility",
+            speed=speed,
+            reach=params["reach"],
+            arena=params["arena"],
+        )
+        cells = tuple(
+            TrialSpec(
+                topology=TopologySpec(
+                    kind="bridged-drone", n=n, t=t, radius=radius, seed=seed
+                ),
+                protocol="nectar",
+                adversary=adversary,
+                seed=seed,
+                measure="success-rate",
+                env=env,
+            )
+            for seed in seeds
+        )
+        plan.groups.append(CellGroup("Nectar", speed, cells))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The registry: 13 paper figures + 3 off-model scenarios, declaratively
 # ----------------------------------------------------------------------
 _ALL_FAMILIES = (
     "k-regular",
@@ -1334,6 +1618,48 @@ FIGURE_SPECS: dict[str, SweepSpec] = {
             capabilities=_SWEEP,
             scale_noted=False,
         ),
+        SweepSpec(
+            figure_id="nectar-under-loss",
+            title="NECTAR bridge-attack resilience under message loss (off-model)",
+            axes=(
+                AxisSpec("n", 21, 35),
+                AxisSpec("t", 2),
+                AxisSpec("radius", 1.2),
+                AxisSpec("loss_rates", (0.0, 0.2, 0.4), (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)),
+                AxisSpec("trials", 3, 20),
+                AxisSpec("adversary", "two-faced"),
+            ),
+            plan="nectar-under-loss",
+            capabilities=_SCALED_SWEEP,
+            seed_mode="hashed",
+        ),
+        SweepSpec(
+            figure_id="backend-comparison",
+            title="NECTAR cost parity, lock-step vs asyncio backend (off-model)",
+            axes=(
+                AxisSpec("ns", (8, 10, 12), (10, 20, 30)),
+                AxisSpec("k", 4),
+            ),
+            plan="backend-comparison",
+            capabilities=_SCALED_SWEEP,
+        ),
+        SweepSpec(
+            figure_id="mobility-resilience",
+            title="NECTAR bridge-attack resilience on a mobile substrate (off-model)",
+            axes=(
+                AxisSpec("n", 21, 35),
+                AxisSpec("t", 2),
+                AxisSpec("radius", 1.2),
+                AxisSpec("speeds", (0.25, 0.5, 1.0), (0.1, 0.25, 0.5, 1.0, 2.0)),
+                AxisSpec("reach", 2.5),
+                AxisSpec("arena", 5.0),
+                AxisSpec("trials", 3, 20),
+                AxisSpec("adversary", "two-faced"),
+            ),
+            plan="mobility-resilience",
+            capabilities=_SCALED_SWEEP,
+            seed_mode="hashed",
+        ),
     )
 }
 
@@ -1364,7 +1690,10 @@ class SweepEngine:
                 ``REPRO_FULL=1``, else reduced).
             overrides: axis name -> value replacements; sequence values
                 are normalised to tuples and wire profiles to registry
-                names.  Unknown names raise :class:`ExperimentError`.
+                names.  Names prefixed ``env.`` address the
+                environment layer (``env.loss_rate``, ``env.backend``,
+                ``env.validation``, …) and are valid on *every* sweep.
+                Unknown names raise :class:`ExperimentError`.
             seed_mode: override the spec's seed policy.
             base_seed: base for ``"hashed"`` seed derivation.
         """
@@ -1374,9 +1703,15 @@ class SweepEngine:
         if scale not in ("reduced", "paper"):
             raise ExperimentError(f"unknown scale {scale!r}")
         params = {axis.name: axis.value(scale) for axis in spec.axes}
+        env_overrides = {}
         for name, value in (overrides or {}).items():
+            if name.startswith("env."):
+                env_overrides[name[len("env."):]] = value
+                continue
             axis = spec.axis(name)  # raises on unknown axes
             params[name] = self._normalise(axis, value)
+        env = environment_from_overrides(env_overrides)
+        env.validate()
         mode = seed_mode if seed_mode is not None else spec.seed_mode
         if mode not in ("index", "hashed"):
             raise ExperimentError(f"unknown seed mode {mode!r}")
@@ -1386,6 +1721,8 @@ class SweepEngine:
             params=params,
             seed_mode=mode,
             base_seed=base_seed,
+            env=env,
+            env_fields=tuple(sorted(env_overrides)),
         )
 
     def plan(self, resolved: ResolvedSweep) -> FigurePlan:
@@ -1436,6 +1773,19 @@ class SweepEngine:
             )
         plan = self.plan(resolved)
         cells = [cell for group in plan.groups for cell in group.cells]
+        if resolved.env_fields:
+            # Sweep-wide env.* overrides: apply exactly the fields the
+            # user named, so cells that already carry a non-default
+            # environment (the off-model scenarios) keep their channel
+            # parameters — and an explicit default (env.loss_rate=0.0)
+            # really does reset them.
+            cells = [
+                replace(
+                    cell,
+                    env=cell.env.with_fields(resolved.env, resolved.env_fields),
+                )
+                for cell in cells
+            ]
         values = parallel_map(execute_trial, cells, workers=workers)
         cursor = 0
         for group in plan.groups:
@@ -1516,6 +1866,8 @@ __all__ = [
     "ADVERSARIES",
     "AxisSpec",
     "CellGroup",
+    "DEFAULT_ENVIRONMENT",
+    "EnvironmentSpec",
     "FIGURE_SPECS",
     "FigurePlan",
     "PROFILES",
@@ -1527,6 +1879,7 @@ __all__ = [
     "TopologySpec",
     "TrialSpec",
     "attack_rates",
+    "environment_axis_names",
     "execute_trial",
     "paper_scale",
     "profile_name",

@@ -1,6 +1,25 @@
-"""Network substrate: envelopes, codec, lock-step and asyncio backends."""
+"""Network substrate: envelopes, codec, channel models, and the
+lock-step / asyncio execution backends (registered in
+:data:`repro.net.channel.BACKENDS`)."""
 
 from repro.net.asyncio_net import AsyncCluster, frame, unframe
+from repro.net.channel import (
+    BACKENDS,
+    CHANNEL_MODELS,
+    RELIABLE_CHANNEL,
+    ChannelModel,
+    ChannelState,
+    JitteredChannel,
+    LossyChannel,
+    MobilityChannel,
+    NetworkBackend,
+    ReliableChannel,
+    build_backend,
+    channel_model,
+    register_backend,
+    register_channel_model,
+    resolve_backend,
+)
 from repro.net.codec import (
     ByteReader,
     PayloadCodec,
@@ -18,6 +37,21 @@ __all__ = [
     "AsyncCluster",
     "frame",
     "unframe",
+    "BACKENDS",
+    "CHANNEL_MODELS",
+    "RELIABLE_CHANNEL",
+    "ChannelModel",
+    "ChannelState",
+    "JitteredChannel",
+    "LossyChannel",
+    "MobilityChannel",
+    "NetworkBackend",
+    "ReliableChannel",
+    "build_backend",
+    "channel_model",
+    "register_backend",
+    "register_channel_model",
+    "resolve_backend",
     "ByteReader",
     "PayloadCodec",
     "codec_for_payload",

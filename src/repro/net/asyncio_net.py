@@ -27,6 +27,12 @@ from typing import Any, Mapping
 from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
 from repro.errors import ChannelError, CodecError, ProtocolError
 from repro.graphs.graph import Graph
+from repro.net.channel import (
+    RELIABLE_CHANNEL,
+    ChannelModel,
+    NetworkBackend,
+    register_backend,
+)
 from repro.net.codec import decode_envelope, encode_envelope
 from repro.net.message import Envelope
 from repro.net.simulator import RoundProtocol
@@ -64,9 +70,15 @@ class AsyncCluster:
         graph: the communication graph G.
         protocols: one protocol instance per node.
         profile: wire profile for encoding.
+        channel: channel model applied to in-flight messages.  Must be
+            ``async_safe`` — delivery decisions a pure function of
+            ``(round, edge)`` — because this backend's global delivery
+            order is not reproducible (the i.i.d. lossy model is
+            therefore sync-only).
         jitter_ms: optional max artificial delay (milliseconds of
-            simulated time) applied to each message inside its round.
-        seed: RNG seed for the jitter.
+            simulated time) applied to each message inside its round;
+            defaults to the channel model's own jitter bound.
+        seed: RNG seed for the jitter and the channel state.
     """
 
     def __init__(
@@ -74,15 +86,22 @@ class AsyncCluster:
         graph: Graph,
         protocols: Mapping[NodeId, RoundProtocol],
         profile: WireProfile = DEFAULT_PROFILE,
-        jitter_ms: float = 0.0,
+        channel: ChannelModel = RELIABLE_CHANNEL,
+        jitter_ms: float | None = None,
         seed: int = 0,
     ) -> None:
         if set(protocols) != set(graph.nodes()):
             raise ProtocolError("protocols must cover exactly the graph's nodes")
+        if not channel.async_safe:
+            raise ProtocolError(
+                f"channel model {type(channel).__name__} is not usable on the "
+                "asyncio backend (delivery order is not reproducible)"
+            )
         self._graph = graph
         self._protocols = dict(protocols)
         self._profile = profile
-        self._jitter_ms = jitter_ms
+        self._channel_state = channel.state(graph, seed)
+        self._jitter_ms = channel.jitter_ms if jitter_ms is None else jitter_ms
         self._rng = random.Random(("async-jitter", seed).__repr__())
         self.stats = TrafficStats()
         # One inbox queue per directed channel (u, v) in E.
@@ -156,6 +175,10 @@ class AsyncCluster:
                         )
                     except CodecError:
                         continue  # Byzantine junk: drop silently
+                    if not self._channel_state.delivers(
+                        round_number, neighbor, node_id
+                    ):
+                        continue  # channel dropped it: sent, not received
                     self.stats.record_receive(
                         node_id, len(data) - _FRAME_PREFIX_BYTES
                     )
@@ -164,3 +187,23 @@ class AsyncCluster:
                     )
             await barrier.wait()  # everyone finished delivering
         verdicts[node_id] = protocol.conclude()
+
+
+def _async_backend(
+    graph: Graph,
+    protocols: Mapping[NodeId, RoundProtocol],
+    *,
+    profile: WireProfile = DEFAULT_PROFILE,
+    channel: ChannelModel = RELIABLE_CHANNEL,
+    seed: int = 0,
+    quiescence_skip: bool = True,
+) -> NetworkBackend:
+    """The ``async`` entry of the backend registry (DESIGN.md §8).
+
+    ``quiescence_skip`` is accepted for contract parity and ignored:
+    the asyncio backend has no quiescence short-circuit.
+    """
+    return AsyncCluster(graph, protocols, profile=profile, channel=channel, seed=seed)
+
+
+register_backend("async", _async_backend)

@@ -15,24 +15,31 @@ The scheduler also enforces the model's physical constraints on
   reach non-neighbors directly;
 * every sent message is delivered within the round (reliable links).
 
-An optional ``loss_rate`` relaxes the reliable-link assumption for
-*baseline* experiments only: MindTheGap's original evaluation tolerates
-unreliable MANET channels ("MtG detects 90% of partitions despite a
-40% message loss rate", Sec. VI-A), which
-``benchmarks/bench_mtg_loss_tolerance.py`` reproduces.  NECTAR's model
-requires reliable channels, so the experiment runner never enables
-loss for NECTAR runs.
+What the physical channel does to in-flight messages is delegated to a
+:class:`repro.net.channel.ChannelModel` (DESIGN.md §8): ``reliable``
+(the paper's model, the default), ``lossy`` (MindTheGap's Sec. VI-A
+regime — "MtG detects 90% of partitions despite a 40% message loss
+rate" — reproduced by ``benchmarks/bench_mtg_loss_tolerance.py``),
+``jittered`` and ``mobility``.  The historical ``loss_rate`` /
+``loss_seed`` constructor knobs survive as a shorthand for the lossy
+model and keep their exact RNG stream.
 """
 
 from __future__ import annotations
 
 import abc
-import random
 from typing import Any, Mapping
 
 from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
 from repro.errors import ChannelError, ProtocolError
 from repro.graphs.graph import Graph
+from repro.net.channel import (
+    RELIABLE_CHANNEL,
+    ChannelModel,
+    LossyChannel,
+    NetworkBackend,
+    register_backend,
+)
 from repro.net.message import Envelope, Outgoing
 from repro.net.stats import TrafficStats
 from repro.types import NodeId
@@ -76,10 +83,12 @@ class SyncNetwork:
         graph: the communication graph G.
         protocols: one :class:`RoundProtocol` per node id of ``graph``.
         profile: wire profile used for byte accounting.
-        loss_rate: probability that any single message is dropped in
-            flight (0.0 = the paper's reliable channels).  Dropped
+        channel: what the physical channel does to in-flight messages
+            (default: the paper's reliable channels).  Dropped
             messages count as sent but not received.
-        loss_seed: RNG seed for the loss process.
+        loss_rate: shorthand for ``channel=LossyChannel(loss_rate)``;
+            mutually exclusive with an explicit ``channel``.
+        loss_seed: RNG seed for the channel model's state.
         quiescence_skip: stop iterating once a round emits zero sends
             (DESIGN.md §6.2).  A round without sends delivers nothing,
             so under the round-protocol contract — sends after round 1
@@ -102,6 +111,7 @@ class SyncNetwork:
         graph: Graph,
         protocols: Mapping[NodeId, RoundProtocol],
         profile: WireProfile = DEFAULT_PROFILE,
+        channel: ChannelModel | None = None,
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         quiescence_skip: bool = True,
@@ -113,13 +123,22 @@ class SyncNetwork:
                 raise ProtocolError(
                     f"protocol registered at {node_id} claims id {protocol.node_id}"
                 )
-        if not 0.0 <= loss_rate < 1.0:
-            raise ProtocolError(f"loss_rate {loss_rate} outside [0, 1)")
+        if channel is None:
+            if not 0.0 <= loss_rate < 1.0:
+                raise ProtocolError(f"loss_rate {loss_rate} outside [0, 1)")
+            channel = (
+                LossyChannel(loss_rate) if loss_rate > 0.0 else RELIABLE_CHANNEL
+            )
+        elif loss_rate != 0.0:
+            raise ProtocolError(
+                "pass message loss through the channel model, not both "
+                "channel= and loss_rate="
+            )
         self._graph = graph
         self._protocols = dict(protocols)
         self._profile = profile
-        self._loss_rate = loss_rate
-        self._loss_rng = random.Random(("channel-loss", loss_seed).__repr__())
+        self.channel = channel
+        self._channel_state = channel.state(graph, loss_seed)
         self._quiescence_skip = quiescence_skip
         self.stats = TrafficStats()
         #: rounds asked for / actually iterated by the last :meth:`run`.
@@ -166,10 +185,12 @@ class SyncNetwork:
                     self.stats.record_send(node_id, size)
                     deliveries.append((envelope, outgoing.destination, size))
             # Synchrony: everything sent in this round arrives before
-            # the next round starts (unless the lossy-channel mode
-            # drops it).
+            # the next round starts (unless the channel model drops
+            # it).
             for envelope, destination, size in deliveries:
-                if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+                if not self._channel_state.delivers(
+                    round_number, envelope.sender, destination
+                ):
                     continue
                 self.stats.record_receive(destination, size)
                 self._protocols[destination].deliver(
@@ -189,3 +210,26 @@ class SyncNetwork:
                 f"node {sender} attempted to send to non-neighbor "
                 f"{outgoing.destination}; no such channel exists in G"
             )
+
+
+def _sync_backend(
+    graph: Graph,
+    protocols: Mapping[NodeId, RoundProtocol],
+    *,
+    profile: WireProfile = DEFAULT_PROFILE,
+    channel: ChannelModel = RELIABLE_CHANNEL,
+    seed: int = 0,
+    quiescence_skip: bool = True,
+) -> NetworkBackend:
+    """The ``sync`` entry of the backend registry (DESIGN.md §8)."""
+    return SyncNetwork(
+        graph,
+        protocols,
+        profile=profile,
+        channel=channel,
+        loss_seed=seed,
+        quiescence_skip=quiescence_skip,
+    )
+
+
+register_backend("sync", _sync_backend)

@@ -1,0 +1,206 @@
+"""Tests for channel models and the execution-backend registry."""
+
+import pytest
+
+from repro.baselines.mtg import MtgNode
+from repro.errors import ChannelError, ExperimentError, ProtocolError
+from repro.experiments.runner import honest_mtg_factory, run_trial
+from repro.graphs.generators.classic import cycle_graph, grid_graph
+from repro.net.asyncio_net import AsyncCluster
+from repro.net.channel import (
+    BACKENDS,
+    CHANNEL_MODELS,
+    RELIABLE_CHANNEL,
+    JitteredChannel,
+    LossyChannel,
+    MobilityChannel,
+    ReliableChannel,
+    channel_model,
+    register_backend,
+    register_channel_model,
+    resolve_backend,
+)
+from repro.net.simulator import SyncNetwork
+
+
+def _mtg_protocols(graph):
+    return {v: MtgNode(v, graph.n, graph.neighbors(v)) for v in graph.nodes()}
+
+
+class TestRegistry:
+    def test_built_in_profiles_registered(self):
+        assert {"reliable", "lossy", "jittered", "mobility"} <= set(CHANNEL_MODELS)
+
+    def test_both_backends_registered(self):
+        assert {"sync", "async"} <= set(BACKENDS)
+
+    def test_channel_model_constructor(self):
+        assert channel_model("reliable") is RELIABLE_CHANNEL
+        assert channel_model("lossy", loss_rate=0.3) == LossyChannel(0.3)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ChannelError, match="unknown channel model"):
+            channel_model("quantum-foam")
+
+    def test_bad_channel_parameters_rejected(self):
+        with pytest.raises(ChannelError, match="lossy"):
+            channel_model("lossy", bogus=1)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown backend"):
+            resolve_backend("quantum")
+
+    def test_conflicting_reregistration_rejected(self):
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_backend("sync", lambda *a, **k: None)
+        with pytest.raises(ChannelError, match="already registered"):
+            register_channel_model("lossy", ReliableChannel)
+
+    def test_idempotent_reregistration_allowed(self):
+        register_backend("sync", BACKENDS["sync"])
+        register_channel_model("lossy", LossyChannel)
+
+
+class TestModelValidation:
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ChannelError):
+            LossyChannel(1.0)
+        with pytest.raises(ChannelError):
+            LossyChannel(-0.1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ChannelError):
+            JitteredChannel(-1.0)
+
+    def test_mobility_parameters_positive(self):
+        with pytest.raises(ChannelError):
+            MobilityChannel(speed=0.0)
+        with pytest.raises(ChannelError):
+            MobilityChannel(reach=-1.0)
+
+    def test_models_are_picklable_and_comparable(self):
+        import pickle
+
+        for model in (
+            RELIABLE_CHANNEL,
+            LossyChannel(0.2),
+            JitteredChannel(3.0),
+            MobilityChannel(speed=0.4),
+        ):
+            assert pickle.loads(pickle.dumps(model)) == model
+
+
+class TestSyncChannelEquivalence:
+    def test_explicit_lossy_channel_matches_legacy_kwargs(self):
+        """channel=LossyChannel(p) reproduces loss_rate=p bit-identically."""
+        graph = cycle_graph(8)
+        legacy = SyncNetwork(
+            graph, _mtg_protocols(graph), loss_rate=0.4, loss_seed=5
+        )
+        legacy_verdicts = legacy.run(6)
+        modelled = SyncNetwork(
+            graph, _mtg_protocols(graph), channel=LossyChannel(0.4), loss_seed=5
+        )
+        modelled_verdicts = modelled.run(6)
+        assert modelled_verdicts == legacy_verdicts
+        assert modelled.stats.bytes_received == legacy.stats.bytes_received
+        assert modelled.stats.bytes_sent == legacy.stats.bytes_sent
+
+    def test_zero_loss_channel_is_reliable(self):
+        graph = cycle_graph(6)
+        network = SyncNetwork(graph, _mtg_protocols(graph), channel=LossyChannel(0.0))
+        network.run(4)
+        assert network.stats.conservation_gap() == 0
+
+    def test_channel_and_loss_rate_both_rejected(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ProtocolError, match="not both"):
+            SyncNetwork(
+                graph,
+                _mtg_protocols(graph),
+                channel=LossyChannel(0.2),
+                loss_rate=0.2,
+            )
+
+    def test_mobility_drops_out_of_reach_messages(self):
+        """A tiny reach drops essentially everything; a huge one nothing."""
+        graph = cycle_graph(8)
+        opaque = SyncNetwork(
+            graph,
+            _mtg_protocols(graph),
+            channel=MobilityChannel(reach=1e-6, arena=50.0, speed=0.5),
+        )
+        opaque.run(4)
+        assert opaque.stats.bytes_received == {}
+        transparent = SyncNetwork(
+            graph,
+            _mtg_protocols(graph),
+            channel=MobilityChannel(reach=100.0, arena=5.0, speed=0.5),
+        )
+        transparent.run(4)
+        assert transparent.stats.conservation_gap() == 0
+
+    def test_mobility_is_deterministic_in_seed(self):
+        def run(seed):
+            graph = cycle_graph(8)
+            network = SyncNetwork(
+                graph,
+                _mtg_protocols(graph),
+                channel=MobilityChannel(reach=2.0, arena=4.0, speed=0.8),
+                loss_seed=seed,
+            )
+            network.run(6)
+            return network.stats.bytes_received
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestAsyncChannels:
+    def test_lossy_rejected_on_async_backend(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ProtocolError, match="not usable"):
+            AsyncCluster(graph, _mtg_protocols(graph), channel=LossyChannel(0.2))
+
+    def test_mobility_matches_sync_backend(self):
+        """Deterministic channels produce identical drops on both backends."""
+        channel = MobilityChannel(reach=2.0, arena=4.0, speed=0.8)
+        for graph in (cycle_graph(6), grid_graph(3, 3)):
+            sync = run_trial(
+                graph,
+                t=0,
+                honest_factory=honest_mtg_factory,
+                rounds=5,
+                with_ground_truth=False,
+                env=_mobility_env(channel),
+            )
+            asynchronous = run_trial(
+                graph,
+                t=0,
+                honest_factory=honest_mtg_factory,
+                rounds=5,
+                with_ground_truth=False,
+                env=_mobility_env(channel, backend="async"),
+            )
+            assert asynchronous.verdicts == sync.verdicts
+            assert asynchronous.stats.bytes_sent == sync.stats.bytes_sent
+            assert asynchronous.stats.bytes_received == sync.stats.bytes_received
+
+    def test_jittered_channel_sets_async_jitter(self):
+        graph = cycle_graph(5)
+        cluster = AsyncCluster(
+            graph, _mtg_protocols(graph), channel=JitteredChannel(2.0)
+        )
+        assert cluster._jitter_ms == 2.0
+
+
+def _mobility_env(channel: MobilityChannel, backend: str = "sync"):
+    from repro.experiments.envspec import EnvironmentSpec
+
+    return EnvironmentSpec(
+        backend=backend,
+        channel="mobility",
+        reach=channel.reach,
+        arena=channel.arena,
+        speed=channel.speed,
+    )

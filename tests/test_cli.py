@@ -223,6 +223,108 @@ class TestSweep:
         assert code == 2
         assert "single value" in capsys.readouterr().out
 
+    def test_csv_export_writes_rows(self, capsys, tmp_path):
+        target = tmp_path / "rows.csv"
+        code = main(["sweep", "fig3", *self.FAST, "--csv", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(target) in out
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "figure_id,series,x,mean,ci_half_width,trials"
+        assert len(lines) == 3  # header + ns=8,10 at k=2
+        assert all(line.startswith("fig3,") for line in lines[1:])
+
+    def test_env_axis_override_changes_artefact_key(self, capsys, tmp_path):
+        main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        code = main(
+            ["sweep", "fig3", *self.FAST, "--set", "env.loss_rate=0.4",
+             "--out", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        files = list(tmp_path.glob("fig3-*.json"))
+        assert len(files) == 2
+        specs = [load_figure_record(f.read_text())[1] for f in files]
+        assert any(s.get("env") == {"loss_rate": 0.4} for s in specs)
+        assert any("env" not in s for s in specs)
+
+    def test_env_axis_via_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {"figure": "fig3", "set": {"ns": [8], "ks": [2],
+                                           "env.backend": "async"}}
+            )
+        )
+        code = main(["sweep", "--spec", str(spec_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Nectar: k = 2" in out
+
+    def test_invalid_env_combination_reports_error(self, capsys):
+        code = main(
+            ["sweep", "fig3", *self.FAST, "--set", "env.backend=async",
+             "--set", "env.loss_rate=0.4"]
+        )
+        assert code == 2
+        assert "only modelled on the sync backend" in capsys.readouterr().out
+
+    def test_unknown_env_axis_reports_error(self, capsys):
+        code = main(["sweep", "fig3", *self.FAST, "--set", "env.latency=1"])
+        assert code == 2
+        assert "unknown environment axis" in capsys.readouterr().out
+
+    def test_list_mentions_environment_axes(self, capsys):
+        main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert "env.loss_rate" in out
+        assert "env.backend" in out
+
+
+class TestDiff:
+    FAST = ["--set", "ns=8,10", "--set", "ks=2"]
+
+    def _artefacts(self, tmp_path, capsys):
+        main(["sweep", "fig3", *self.FAST, "--out", str(tmp_path)])
+        main(
+            ["sweep", "fig3", *self.FAST, "--set", "env.loss_rate=0.4",
+             "--out", str(tmp_path)]
+        )
+        capsys.readouterr()
+        base, lossy = sorted(
+            tmp_path.glob("fig3-*.json"),
+            key=lambda p: "env" in json.loads(p.read_text())["spec"]["resolved"],
+        )
+        return base, lossy
+
+    def test_identical_artefacts_exit_zero(self, capsys, tmp_path):
+        base, _ = self._artefacts(tmp_path, capsys)
+        code = main(["diff", str(base), str(base)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical: 2 rows match" in out
+
+    def test_divergent_artefacts_exit_one_with_deltas(self, capsys, tmp_path):
+        base, lossy = self._artefacts(tmp_path, capsys)
+        code = main(["diff", str(base), str(lossy)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED: 2 of 2 rows differ" in out
+        assert "spec digests differ" in out
+        assert "mean" in out
+
+    def test_tolerance_absorbs_small_deltas(self, capsys, tmp_path):
+        base, lossy = self._artefacts(tmp_path, capsys)
+        code = main(["diff", str(base), str(lossy), "--tolerance", "1000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in out
+
+    def test_missing_artefact_reports_error(self, capsys, tmp_path):
+        code = main(["diff", str(tmp_path / "nope.json"), str(tmp_path / "x.json")])
+        assert code == 2
+        assert "cannot read artefact" in capsys.readouterr().out
+
 
 class TestFigureSpark:
     def test_sparklines_printed(self, capsys):

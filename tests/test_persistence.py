@@ -72,6 +72,28 @@ class TestCsv:
             "figure_id,series,x,mean,ci_half_width,trials"
         ]
 
+    def test_column_ordering_is_stable(self, figure):
+        """The repro sweep --csv contract: fixed header, rows in
+        series-then-point order."""
+        lines = dump_figure_csv(figure).strip().splitlines()
+        assert lines[0] == "figure_id,series,x,mean,ci_half_width,trials"
+        assert [line.split(",")[1] for line in lines[1:]] == ["A", "A", "B"]
+        first = lines[1].split(",")
+        assert (first[2], first[3], first[5]) == ("10", "2.0", "3")
+
+    def test_series_names_with_delimiters_are_escaped(self):
+        fig = FigureData("figX", "t", "x", "y")
+        fig.series_named('Nectar: k = 2, "dense"').add(1, [2.0])
+        lines = dump_figure_csv(fig).strip().splitlines()
+        # RFC-4180 quoting: the comma stays inside one quoted field and
+        # embedded quotes double.
+        assert lines[1] == 'figX,"Nectar: k = 2, ""dense""",1,2.0,0.0,1'
+        import csv as csv_module
+        import io
+
+        rows = list(csv_module.reader(io.StringIO("\n".join(lines))))
+        assert rows[1][1] == 'Nectar: k = 2, "dense"'
+
 
 class TestSpecKeyedPersistence:
     SPEC = {
