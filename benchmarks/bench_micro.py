@@ -14,7 +14,11 @@ from repro.crypto.proofs import make_proof, proof_bytes, verify_proof
 from repro.crypto.rsa import RsaScheme
 from repro.crypto.signer import HmacScheme
 from repro.experiments.runner import run_trial
-from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.connectivity import (
+    is_byzantine_partitionable,
+    local_connectivity,
+    vertex_connectivity,
+)
 from repro.graphs.generators.drone import drone_graph
 from repro.graphs.generators.regular import harary_graph
 
@@ -56,6 +60,14 @@ def test_proof_verify(benchmark):
     benchmark(verify_proof, scheme, store.directory, proof)
 
 
+def test_rsa_sign_crt_512(benchmark):
+    """RSA-CRT signing: two half-size exponentiations (~3-4x the plain
+    ``m^d mod n``), the per-message cost behind env.scheme sweeps."""
+    scheme = RsaScheme(bits=512)
+    pair = scheme.generate_keypair(0, random.Random(0))
+    benchmark(scheme.sign, pair, b"x" * 132)
+
+
 def test_vertex_connectivity_harary_k6_n40(benchmark):
     graph = harary_graph(6, 40)
     benchmark(vertex_connectivity, graph)
@@ -64,6 +76,19 @@ def test_vertex_connectivity_harary_k6_n40(benchmark):
 def test_vertex_connectivity_with_cutoff(benchmark):
     graph = harary_graph(6, 40)
     benchmark(vertex_connectivity, graph, 3)
+
+
+def test_local_connectivity_cutoff_2(benchmark):
+    """The cutoff <= 2 fast path: degree bound + at most two shortest-
+    path augmentations instead of full Dinic level phases."""
+    graph = harary_graph(6, 40)
+    benchmark(local_connectivity, graph, 0, 20, 2)
+
+
+def test_is_byzantine_partitionable_t1(benchmark):
+    """κ <= 1 query: the decision-phase shape (cutoff = t + 1 = 2)."""
+    graph = harary_graph(6, 40)
+    benchmark(is_byzantine_partitionable, graph, 1)
 
 
 def test_generate_drone_graph(benchmark):

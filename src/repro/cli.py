@@ -7,7 +7,10 @@ The subcommands cover the everyday uses of the library::
     python -m repro figure fig8 --full --out out/
     python -m repro sweep fig3 --set n=40 --set ks=2,4,6 --workers 4
     python -m repro sweep fig3 --set env.loss_rate=0.4 --csv rows.csv
+    python -m repro sweep fig3 --set env.artifacts=true --artifact-store benchmarks/out/
+    python -m repro bench --smoke --compare benchmarks/baselines
     python -m repro diff out/fig3-abc.json out/fig3-def.json
+    python -m repro diff out-baseline/ out-candidate/
     python -m repro topologies --n 24 --k 4
     python -m repro attack --n 21 --t 2
 
@@ -17,10 +20,15 @@ cost.  ``figure`` regenerates one paper artefact.  ``sweep`` runs any
 registered figure with declarative axis overrides (``--set``) or a
 JSON spec file, persisting results keyed by a stable spec hash;
 ``--set env.<field>=value`` addresses the environment layer (channel
-model, backend, validation — DESIGN.md §8) on every sweep.  ``diff``
-compares two archived artefacts row by row (exit 1 on divergence).
-``topologies`` describes every built-in family.  ``attack`` replays
-the Fig. 8 scenario once and prints who got fooled.
+model, backend, validation, signature scheme, artifact cache —
+DESIGN.md §8-9) on every sweep.  ``bench`` runs the registered perf
+scenarios headlessly and emits ``BENCH_*.json`` ledgers (wall times,
+speedups, cache hit rates), optionally comparing them against
+committed baselines (exit 1 on regression).  ``diff`` compares two
+archived artefacts row by row — or two whole artefact directories,
+ledgers included — with exit 1 on divergence.  ``topologies``
+describes every built-in family.  ``attack`` replays the Fig. 8
+scenario once and prints who got fooled.
 
 Both ``figure`` and ``sweep`` are thin shells over the declarative
 spec registry (:data:`repro.experiments.spec.FIGURE_SPECS`): every
@@ -37,7 +45,7 @@ import pathlib
 from typing import Sequence
 
 from repro.errors import ExperimentError
-from repro.experiments.diff import diff_artefacts
+from repro.experiments.diff import diff_artefact_directories, diff_artefacts
 from repro.experiments.persistence import (
     dump_figure_csv,
     dump_figure_json,
@@ -113,6 +121,16 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
             "Results are identical for any worker count."
         ),
     )
+    parser.add_argument(
+        "--artifact-store",
+        metavar="DIR",
+        help=(
+            "opt-in on-disk artifact cache (DESIGN.md §9): load/save one "
+            "snapshot per resolved spec under DIR (conventionally "
+            "benchmarks/out/). Only consulted when cells enable "
+            "env.artifacts, e.g. --set env.artifacts=true."
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -184,12 +202,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_options(sweep)
 
+    bench = commands.add_parser(
+        "bench",
+        help=(
+            "run the registered perf scenarios headlessly and emit "
+            "BENCH_*.json ledgers (exit 1 on regression with --compare)"
+        ),
+    )
+    bench.add_argument(
+        "names",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenarios to run (default: all registered)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced smoke presets (what CI affords)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="DIR",
+        default="benchmarks/out",
+        help="ledger output directory (default: benchmarks/out)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="DIR",
+        help=(
+            "compare each fresh ledger against the committed baseline "
+            "BENCH_<scenario>.json in DIR; exit 1 on any regression"
+        ),
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help=(
+            "relative speedup-regression tolerance for --compare "
+            "(default 0.2 = fail on >20%% regression)"
+        ),
+    )
+    bench.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help="shard the benched sweeps over N worker processes",
+    )
+
     diff = commands.add_parser(
         "diff",
-        help="compare two archived figure artefacts (exit 1 on divergence)",
+        help=(
+            "compare two archived artefacts, or two whole artefact "
+            "directories, row by row (exit 1 on divergence)"
+        ),
     )
-    diff.add_argument("artefact_a", metavar="A", help="baseline figure JSON")
-    diff.add_argument("artefact_b", metavar="B", help="candidate figure JSON")
+    diff.add_argument(
+        "artefact_a", metavar="A", help="baseline figure JSON (or directory)"
+    )
+    diff.add_argument(
+        "artefact_b", metavar="B", help="candidate figure JSON (or directory)"
+    )
     diff.add_argument(
         "--tolerance",
         type=float,
@@ -197,7 +275,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="EPS",
         help=(
             "absolute slack on mean/CI comparisons (default 0.0: "
-            "bit-identical rows)"
+            "bit-identical rows); also the speedup tolerance for bench "
+            "ledgers met inside directories"
         ),
     )
 
@@ -320,7 +399,9 @@ def _run_figure(args: argparse.Namespace) -> int:
         scale="paper" if args.full else "auto",
         overrides=_parse_overrides(args.overrides),
     )
-    figure = SWEEP_ENGINE.run(resolved, workers=args.workers)
+    figure = SWEEP_ENGINE.run(
+        resolved, workers=args.workers, artifact_store=args.artifact_store
+    )
     _render_figure(figure, spark=args.spark)
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out)}")
@@ -413,7 +494,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print(f"sweep : {name} ({resolved.scale} scale, seeds={resolved.seed_mode})")
     print(f"spec  : {spec_digest(resolved.payload())[:12]}")
-    figure = SWEEP_ENGINE.run(resolved, workers=args.workers)
+    figure = SWEEP_ENGINE.run(
+        resolved, workers=args.workers, artifact_store=args.artifact_store
+    )
     _render_figure(figure)
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out)}")
@@ -423,12 +506,76 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_diff(args: argparse.Namespace) -> int:
-    diff = diff_artefacts(
-        args.artefact_a, args.artefact_b, tolerance=args.tolerance
-    )
+    path_a, path_b = pathlib.Path(args.artefact_a), pathlib.Path(args.artefact_b)
     print(f"diff : {args.artefact_a} vs {args.artefact_b}")
+    if path_a.is_dir() and path_b.is_dir():
+        from repro.experiments.bench import ledger_file_diff
+
+        diff = diff_artefact_directories(
+            path_a, path_b, tolerance=args.tolerance, file_diff=ledger_file_diff
+        )
+    elif path_a.is_dir() or path_b.is_dir():
+        print("error: compare two files or two directories, not a mix")
+        return 2
+    else:
+        diff = diff_artefacts(path_a, path_b, tolerance=args.tolerance)
     print(diff.describe())
     return 1 if diff.diverged else 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        BENCH_SCENARIOS,
+        compare_ledgers,
+        describe_ledger,
+        ledger_path,
+        load_ledger,
+        run_scenario,
+        write_ledger,
+    )
+
+    if args.list:
+        print("registered bench scenarios (repro bench [names] --smoke):")
+        for name in sorted(BENCH_SCENARIOS):
+            scenario = BENCH_SCENARIOS[name]
+            print(f"  {name:<24} {scenario.title}")
+        return 0
+    names = args.names or sorted(BENCH_SCENARIOS)
+    unknown = [name for name in names if name not in BENCH_SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {unknown}; "
+            f"known: {sorted(BENCH_SCENARIOS)}"
+        )
+        return 2
+    scale = "smoke" if args.smoke else "full"
+    print(f"bench : {len(names)} scenario(s), {scale} scale -> {args.out}")
+    regressions = 0
+    for name in names:
+        ledger = run_scenario(
+            BENCH_SCENARIOS[name], smoke=args.smoke, workers=args.workers
+        )
+        path = write_ledger(ledger, args.out)
+        print(describe_ledger(ledger))
+        print(f"  ledger: {path}")
+        if not ledger["rows_equal"]:
+            print("  EQUIVALENCE BROKEN: cached and uncached rows differ")
+            regressions += 1
+        if args.compare:
+            baseline_path = ledger_path(args.compare, name)
+            if not baseline_path.exists():
+                print(f"  compare: no baseline at {baseline_path} (skipped)")
+                continue
+            problems = compare_ledgers(
+                load_ledger(baseline_path), ledger, tolerance=args.tolerance
+            )
+            if problems:
+                regressions += 1
+                for problem in problems:
+                    print(f"  REGRESSION: {problem}")
+            else:
+                print(f"  compare: ok vs {baseline_path}")
+    return 1 if regressions else 0
 
 
 def _run_map(args: argparse.Namespace) -> int:
@@ -479,6 +626,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _run_check,
         "figure": _run_figure,
         "sweep": _run_sweep,
+        "bench": _run_bench,
         "diff": _run_diff,
         "map": _run_map,
         "topologies": _run_topologies,

@@ -98,9 +98,19 @@ def _full_domain_hash(data: bytes, modulus: int) -> int:
 class RsaScheme(SignatureScheme):
     """RSA-FDH signatures with ``bits``-bit moduli.
 
-    Private key wire format: ``modulus || private_exponent`` (each as a
-    fixed-width big-endian integer).  Public key: ``modulus`` alone
-    (the public exponent is the constant 65537).
+    Private key wire format: ``modulus || private_exponent || p || q``
+    (each as a fixed-width big-endian integer; a legacy two-field key
+    without the primes still signs, via the plain exponentiation).
+    Public key: ``modulus`` alone (the public exponent is the constant
+    65537).
+
+    Signing uses the standard CRT shortcut when the primes are
+    available — two half-size exponentiations instead of one full-size
+    one, ~3-4× faster — and memoises the per-key CRT parameters, so
+    the protocol simulations that sign thousands of chain links per
+    trial pay the derivation once per key.  The produced signature is
+    bit-identical to the textbook ``m^d mod n`` (CRT reconstructs the
+    same residue), so cached/uncached and CRT/legacy runs agree.
 
     Args:
         bits: modulus size.  512 is the default; 256 is enough for
@@ -114,6 +124,9 @@ class RsaScheme(SignatureScheme):
             raise ValueError("modulus below 128 bits cannot host SHA-256 FDH safely")
         self.bits = bits
         self.signature_size = (bits + 7) // 8
+        # private_key bytes -> (modulus, p, q, d mod p-1, d mod q-1,
+        # q^-1 mod p); at most one entry per deployment key.
+        self._crt_params: dict[bytes, tuple[int, int, int, int, int, int]] = {}
 
     def generate_keypair(self, node_id: NodeId, rng) -> KeyPair:
         half = self.bits // 2
@@ -129,16 +142,43 @@ class RsaScheme(SignatureScheme):
             private_exponent = _modular_inverse(self.PUBLIC_EXPONENT, phi)
             break
         width = self.signature_size
-        private = modulus.to_bytes(width, "big") + private_exponent.to_bytes(width, "big")
+        private = (
+            modulus.to_bytes(width, "big")
+            + private_exponent.to_bytes(width, "big")
+            + p.to_bytes(width, "big")
+            + q.to_bytes(width, "big")
+        )
         public = modulus.to_bytes(width, "big")
         return KeyPair(node_id=node_id, private_key=private, public_key=public)
 
     def sign(self, key_pair: KeyPair, data: bytes) -> bytes:
         width = self.signature_size
-        modulus = int.from_bytes(key_pair.private_key[:width], "big")
-        private_exponent = int.from_bytes(key_pair.private_key[width:], "big")
+        private = key_pair.private_key
+        modulus = int.from_bytes(private[:width], "big")
         digest = _full_domain_hash(data, modulus)
-        signature = pow(digest, private_exponent, modulus)
+        if len(private) < 4 * width:  # legacy key without CRT primes
+            private_exponent = int.from_bytes(private[width : 2 * width], "big")
+            signature = pow(digest, private_exponent, modulus)
+            return signature.to_bytes(width, "big")
+        params = self._crt_params.get(private)
+        if params is None:
+            private_exponent = int.from_bytes(private[width : 2 * width], "big")
+            p = int.from_bytes(private[2 * width : 3 * width], "big")
+            q = int.from_bytes(private[3 * width : 4 * width], "big")
+            params = (
+                modulus,
+                p,
+                q,
+                private_exponent % (p - 1),
+                private_exponent % (q - 1),
+                _modular_inverse(q % p, p),
+            )
+            self._crt_params[private] = params
+        modulus, p, q, exp_p, exp_q, q_inverse = params
+        residue_p = pow(digest % p, exp_p, p)
+        residue_q = pow(digest % q, exp_q, q)
+        # Garner recombination: the unique residue mod p*q.
+        signature = residue_q + q * ((q_inverse * (residue_p - residue_q)) % p)
         return signature.to_bytes(width, "big")
 
     def verify(self, public_key: bytes, data: bytes, signature: bytes) -> bool:

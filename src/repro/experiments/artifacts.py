@@ -1,0 +1,307 @@
+"""Sweep-scoped artifact cache (DESIGN.md §9).
+
+The figure sweeps are grids over (topology × adversary × seed) in which
+most cells share expensive, *trial-invariant* work: constructing the
+topology (or the whole attack scenario, minimum cuts included),
+computing connectivity certificates for the ground truth, and
+generating signer key material.  The per-trial
+:class:`~repro.crypto.cache.VerificationCache` (DESIGN.md §6.1) cannot
+help there — its lifetime is one trial.  :class:`ArtifactCache` is the
+layer above: a process-wide, content-addressed memo for artifacts whose
+value is a pure function of their key, shared by every trial of a sweep
+(and, through the optional on-disk layer, across sweeps).
+
+Three stores:
+
+* **topologies** — constructed :class:`~repro.graphs.graph.Graph`
+  objects *and* attack-scenario deployments, keyed by the digest of the
+  full :class:`~repro.experiments.spec.TopologySpec` payload.  Interning
+  makes the parent's feasibility probes and every per-cell rebuild free.
+* **connectivity** — κ certificates keyed by ``(graph digest, cutoff)``;
+  the ``vertex_connectivity`` calls behind
+  :func:`~repro.experiments.runner.compute_ground_truth` (and therefore
+  every ``is_byzantine_partitionable`` verdict derived from it) are
+  answered once per distinct graph instead of once per trial — the
+  connectivity-resilience sweep asks the same κ question for three
+  protocol series per cell group.
+* **key pools** — :class:`~repro.crypto.keys.KeyStore` objects keyed by
+  ``(scheme fingerprint, n, seed)``.  Key generation is deterministic
+  per seed, so RSA/HMAC key material is generated once per sweep rather
+  than once per trial; with ``env.scheme=rsa-512`` keygen dominates a
+  trial and pooling is worth >2× wall time (``repro bench rsa-keygen``).
+
+Correctness: every store memoises a *pure* builder, so a warm cache is
+bit-identical to a cold one — sweep rows, verdicts and traffic stats do
+not change, which ``tests/test_artifacts.py`` pins with the cache on vs
+off, serial vs sharded.  Enablement is explicit (``env.artifacts``,
+default off) so default spec digests and the historical execution path
+are untouched.
+
+Sharing: the cache is a module-level singleton (:data:`ARTIFACTS`).
+Under the ``fork`` start method a parent-side warm-up
+(:meth:`~repro.experiments.spec.SweepEngine.run`) is inherited by every
+worker for free; under ``spawn`` the engine replays a snapshot through
+``parallel_map``'s per-worker initializer.  Workers treat the shared
+store as read-only — their private misses simply fill their own copy.
+The on-disk layer (:meth:`ArtifactCache.save` / :meth:`load`) persists
+snapshots under ``benchmarks/out/`` keyed by resolved-sweep digest;
+snapshots are written by the parent, so under sharding they carry the
+parent-side warm-up set (worker-local fills are per-process and are
+not merged back — see ``SweepEngine.run``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+from repro.crypto import scheme_fingerprint
+from repro.crypto.keys import KeyStore
+from repro.crypto.signer import SignatureScheme
+from repro.experiments.persistence import spec_digest
+from repro.graphs.graph import Graph
+
+_Artifact = TypeVar("_Artifact")
+
+#: current on-disk snapshot format; bumped on layout changes so stale
+#: pickles are ignored rather than misread.
+_SNAPSHOT_VERSION = 1
+
+
+def artifact_key(payload: dict) -> str:
+    """A stable content address for a JSON-serialisable payload.
+
+    Delegates to :func:`repro.experiments.persistence.spec_digest` —
+    one canonical-JSON-then-SHA-256 convention for the whole repo — so
+    *any* change to any field of the keyed spec produces a different
+    key (the invalidation property ``tests/test_artifacts.py`` checks).
+
+    Raises:
+        ExperimentError: for payloads JSON cannot canonicalise.
+    """
+    return spec_digest(payload)
+
+
+@dataclass
+class ArtifactStats:
+    """Mutable hit/miss counters, one pair per store."""
+
+    topology_hits: int = 0
+    topology_misses: int = 0
+    connectivity_hits: int = 0
+    connectivity_misses: int = 0
+    key_pool_hits: int = 0
+    key_pool_misses: int = 0
+    #: key-store requests bypassed because the scheme had no
+    #: fingerprint (unknown scheme types are never pooled).
+    key_pool_bypasses: int = 0
+
+    def hits(self) -> int:
+        return self.topology_hits + self.connectivity_hits + self.key_pool_hits
+
+    def misses(self) -> int:
+        return (
+            self.topology_misses + self.connectivity_misses + self.key_pool_misses
+        )
+
+    def total(self) -> int:
+        return self.hits() + self.misses()
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when idle)."""
+        total = self.total()
+        return self.hits() / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters (what the bench ledgers record)."""
+        return {
+            "topology": {"hits": self.topology_hits, "misses": self.topology_misses},
+            "connectivity": {
+                "hits": self.connectivity_hits,
+                "misses": self.connectivity_misses,
+            },
+            "key_pool": {
+                "hits": self.key_pool_hits,
+                "misses": self.key_pool_misses,
+                "bypasses": self.key_pool_bypasses,
+            },
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class ArtifactCache:
+    """Content-addressed stores for trial-invariant sweep artifacts.
+
+    Every store maps a content address to a picklable value produced by
+    a pure builder, so entries can cross process boundaries (fork
+    inheritance, spawn snapshots) and live on disk between runs.  The
+    cache never invents values — a miss always calls the builder — and
+    never mutates what it stores, so enabling it cannot change results.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ArtifactStats()
+        self._topologies: dict[str, object] = {}
+        self._connectivity: dict[tuple[str, int | None], int] = {}
+        self._key_pools: dict[tuple, KeyStore] = {}
+
+    def __len__(self) -> int:
+        return len(self._topologies) + len(self._connectivity) + len(self._key_pools)
+
+    # ------------------------------------------------------------------
+    # The three stores
+    # ------------------------------------------------------------------
+    def topology(self, key: str, build: Callable[[], _Artifact]) -> _Artifact:
+        """The interned topology (or scenario) for ``key``.
+
+        ``key`` should come from :func:`artifact_key` over the full
+        topology-spec payload; the builder runs on the first request.
+        """
+        cached = self._topologies.get(key)
+        if cached is not None:
+            self.stats.topology_hits += 1
+            return cached  # type: ignore[return-value]
+        self.stats.topology_misses += 1
+        value = build()
+        self._topologies[key] = value
+        return value
+
+    def connectivity(
+        self, graph: Graph, cutoff: int | None, compute: Callable[[], int]
+    ) -> int:
+        """The κ certificate for ``graph`` at ``cutoff``.
+
+        Keyed by content digest, not object identity, so equal graphs
+        built independently (parent probe vs worker rebuild) share one
+        certificate.
+        """
+        key = (graph.digest(), cutoff)
+        cached = self._connectivity.get(key)
+        if cached is not None:
+            self.stats.connectivity_hits += 1
+            return cached
+        self.stats.connectivity_misses += 1
+        value = compute()
+        self._connectivity[key] = value
+        return value
+
+    def key_store(
+        self,
+        scheme: SignatureScheme,
+        node_ids: Iterable[int],
+        seed: int,
+        build: Callable[[], KeyStore],
+    ) -> KeyStore:
+        """The signer key pool for ``(scheme, node ids, seed)``.
+
+        Callers must use the *returned* store's scheme for the rest of
+        the deployment: stateful schemes (:class:`HmacScheme`) keep the
+        verification directory on the instance that generated the keys.
+        Schemes without a fingerprint are never pooled — the builder's
+        fresh store is returned as-is.
+        """
+        fingerprint = scheme_fingerprint(scheme)
+        if fingerprint is None:
+            self.stats.key_pool_bypasses += 1
+            return build()
+        key = (fingerprint, tuple(sorted(set(node_ids))), seed)
+        cached = self._key_pools.get(key)
+        if cached is not None:
+            self.stats.key_pool_hits += 1
+            return cached
+        self.stats.key_pool_misses += 1
+        store = build()
+        self._key_pools[key] = store
+        return store
+
+    # ------------------------------------------------------------------
+    # Sharing and persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable view of the stores (counters not included)."""
+        return {
+            "version": _SNAPSHOT_VERSION,
+            "topologies": self._topologies,
+            "connectivity": self._connectivity,
+            "key_pools": self._key_pools,
+        }
+
+    def adopt(self, snapshot: dict) -> None:
+        """Replace the stores with a :meth:`snapshot` (worker warm-up).
+
+        Unknown snapshot versions are ignored — an empty cache is
+        always correct.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        if snapshot.get("version") != _SNAPSHOT_VERSION:
+            return
+        self._topologies = dict(snapshot["topologies"])
+        self._connectivity = dict(snapshot["connectivity"])
+        self._key_pools = dict(snapshot["key_pools"])
+
+    def clear(self) -> None:
+        """Drop every store and reset the counters."""
+        self.stats = ArtifactStats()
+        self._topologies.clear()
+        self._connectivity.clear()
+        self._key_pools.clear()
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist a snapshot (the opt-in on-disk layer)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(self.snapshot()))
+        return path
+
+    def load(self, path: str | pathlib.Path) -> bool:
+        """Adopt a snapshot from disk; False when absent or unreadable.
+
+        A cache file is an accelerator, never a dependency: any load
+        problem (missing file, truncated pickle, stale version) leaves
+        the cache as it was.
+        """
+        path = pathlib.Path(path)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        # Deliberately broad: unpickling arbitrary stale bytes can fail
+        # with almost anything (ModuleNotFoundError after a refactor,
+        # ValueError/IndexError on truncated streams, ...), and a cache
+        # file must never be able to take the sweep down.
+        except Exception:  # noqa: BLE001
+            return False
+        if not isinstance(payload, dict) or payload.get("version") != _SNAPSHOT_VERSION:
+            return False
+        self.adopt(payload)
+        return True
+
+
+#: the process-wide cache every artifact-enabled trial consults.
+ARTIFACTS = ArtifactCache()
+
+
+def clear_artifact_cache() -> None:
+    """Reset :data:`ARTIFACTS` (tests and bench cold-starts)."""
+    ARTIFACTS.clear()
+
+
+def install_artifacts(snapshot: dict) -> None:
+    """Worker-process initializer: adopt a parent snapshot.
+
+    Module-level so :func:`repro.experiments.parallel.parallel_map` can
+    ship it to spawned workers; under fork it is a cheap no-op (the
+    snapshot dictionaries are the inherited ones).
+    """
+    ARTIFACTS.adopt(snapshot)
+
+
+__all__ = [
+    "ARTIFACTS",
+    "ArtifactCache",
+    "ArtifactStats",
+    "artifact_key",
+    "clear_artifact_cache",
+    "install_artifacts",
+]

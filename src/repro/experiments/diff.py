@@ -11,12 +11,21 @@ divergence names exactly the row and field that moved.  Embedded spec
 digests are reported (they explain *why* rows differ) but do not by
 themselves count as divergence: two different specs may legitimately
 produce identical rows.
+
+``repro diff`` also compares **whole artefact directories**
+(:func:`diff_artefact_directories`): every ``*.json`` present on either
+side is matched by file name and diffed with a pluggable per-file
+comparator — figure records by default; ``repro bench --compare``
+plugs in a ledger-aware comparator so one sweep-regression report
+covers figures and ``BENCH_*`` perf ledgers alike.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ExperimentError
 from repro.experiments.persistence import load_figure_record, spec_digest
@@ -53,25 +62,36 @@ class RowDelta:
 
 @dataclass
 class FigureDiff:
-    """The outcome of comparing two figure artefacts."""
+    """The outcome of comparing two artefacts.
+
+    ``deltas`` carries row-level figure divergences; ``problems``
+    carries free-form divergences from non-figure comparators (the
+    bench-ledger comparator reports through it).  Either makes the
+    diff count as diverged.
+    """
 
     deltas: list[RowDelta] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
     rows_compared: int = 0
 
     @property
     def diverged(self) -> bool:
-        return bool(self.deltas)
+        return bool(self.deltas or self.problems)
 
     def describe(self) -> str:
         lines = list(self.notes)
         for delta in self.deltas:
             lines.append(f"  {delta.describe()}")
-        if self.diverged:
+        for problem in self.problems:
+            lines.append(f"  {problem}")
+        if self.deltas:
             lines.append(
                 f"DIVERGED: {len(self.deltas)} of "
                 f"{self.rows_compared} rows differ"
             )
+        elif self.problems:
+            lines.append(f"DIVERGED: {len(self.problems)} problem(s)")
         else:
             lines.append(f"identical: {self.rows_compared} rows match")
         return "\n".join(lines)
@@ -159,4 +179,130 @@ def diff_artefacts(
     )
 
 
-__all__ = ["FigureDiff", "RowDelta", "diff_artefacts", "diff_figures"]
+# ----------------------------------------------------------------------
+# Directory comparison
+# ----------------------------------------------------------------------
+#: per-file comparator signature: (path_a, path_b, tolerance) -> diff.
+FileComparator = Callable[[pathlib.Path, pathlib.Path, float], FigureDiff]
+
+
+@dataclass
+class DirectoryDiff:
+    """The outcome of comparing two artefact directories file by file.
+
+    A file present on one side only is a divergence (a sweep that
+    silently stopped producing an artefact is a regression, not a
+    no-op); unreadable or non-artefact files are *skipped* with a note
+    so foreign files cannot fail a comparison they were never part of.
+    """
+
+    entries: list[tuple[str, FigureDiff]] = field(default_factory=list)
+    missing_left: list[str] = field(default_factory=list)
+    missing_right: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def files_compared(self) -> int:
+        return len(self.entries)
+
+    @property
+    def diverged(self) -> bool:
+        return (
+            bool(self.missing_left)
+            or bool(self.missing_right)
+            or any(diff.diverged for _, diff in self.entries)
+        )
+
+    def describe(self) -> str:
+        lines = []
+        for name in self.missing_left:
+            lines.append(f"{name}: only in B")
+        for name in self.missing_right:
+            lines.append(f"{name}: only in A")
+        for name in self.skipped:
+            lines.append(f"{name}: skipped (not a comparable artefact)")
+        divergent = 0
+        for name, diff in self.entries:
+            if diff.diverged:
+                divergent += 1
+                lines.append(f"{name}:")
+                lines.extend(f"  {line}" for line in diff.describe().splitlines())
+        if self.diverged:
+            missing = len(self.missing_left) + len(self.missing_right)
+            lines.append(
+                f"DIVERGED: {divergent} of {self.files_compared} artefacts "
+                f"differ, {missing} missing"
+            )
+        else:
+            lines.append(f"identical: {self.files_compared} artefacts match")
+        return "\n".join(lines)
+
+
+def diff_artefact_directories(
+    dir_a: str | pathlib.Path,
+    dir_b: str | pathlib.Path,
+    tolerance: float = 0.0,
+    file_diff: FileComparator | None = None,
+) -> DirectoryDiff:
+    """Compare every ``*.json`` artefact of two directories by name.
+
+    Args:
+        dir_a, dir_b: the baseline and candidate directories.
+        tolerance: forwarded to the per-file comparator.
+        file_diff: per-file comparator; defaults to the figure-record
+            comparison of :func:`diff_artefacts`.  A comparator signals
+            "this file is not mine" by raising
+            :class:`~repro.errors.ExperimentError`; the file is then
+            skipped with a note when both sides are at least well-formed
+            JSON (a foreign artefact type), but counted as a divergence
+            when either side is unreadable — a truncated artefact must
+            fail the gate, not slip past it.
+
+    Raises:
+        ExperimentError: when either path is not a directory.
+    """
+    dir_a, dir_b = pathlib.Path(dir_a), pathlib.Path(dir_b)
+    for directory in (dir_a, dir_b):
+        if not directory.is_dir():
+            raise ExperimentError(f"{directory} is not a directory")
+    if file_diff is None:
+        file_diff = diff_artefacts
+    names_a = {path.name for path in dir_a.glob("*.json")}
+    names_b = {path.name for path in dir_b.glob("*.json")}
+    result = DirectoryDiff()
+    result.missing_left = sorted(names_b - names_a)
+    result.missing_right = sorted(names_a - names_b)
+    for name in sorted(names_a & names_b):
+        try:
+            entry = file_diff(dir_a / name, dir_b / name, tolerance)
+        except ExperimentError as exc:
+            if _is_well_formed_json(dir_a / name) and _is_well_formed_json(
+                dir_b / name
+            ):
+                result.skipped.append(name)
+            else:
+                broken = FigureDiff()
+                broken.problems.append(f"unreadable artefact: {exc}")
+                result.entries.append((name, broken))
+            continue
+        result.entries.append((name, entry))
+    return result
+
+
+def _is_well_formed_json(path: pathlib.Path) -> bool:
+    """Whether a file at least parses as JSON (foreign vs broken)."""
+    try:
+        json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return True
+
+
+__all__ = [
+    "DirectoryDiff",
+    "FigureDiff",
+    "RowDelta",
+    "diff_artefact_directories",
+    "diff_artefacts",
+    "diff_figures",
+]

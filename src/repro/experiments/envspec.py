@@ -35,6 +35,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.crypto import SCHEME_FACTORIES
 from repro.errors import ChannelError, ExperimentError
 from repro.net.channel import (
     BACKENDS,
@@ -86,7 +87,20 @@ class EnvironmentSpec:
         speed: per-round node speed of the ``mobility`` channel.
         validation: override of the trial's validation mode
             (:data:`VALIDATION_CHOICES`; "" keeps the caller default).
+        scheme: override of the trial's signature scheme, by registry
+            name (:data:`repro.crypto.SCHEME_FACTORIES`; "" keeps the
+            caller default).  Makes keygen-cost regimes sweepable:
+            ``--set env.scheme=rsa-512`` puts real Miller–Rabin key
+            generation behind every cell of any sweep.
         cache: share one verification cache per trial (DESIGN.md §6.1).
+        artifacts: consult the sweep-scoped
+            :data:`~repro.experiments.artifacts.ARTIFACTS` cache for
+            trial-invariant work — interned topologies/scenarios,
+            connectivity certificates, signer key pools (DESIGN.md §9).
+            Off by default: the default environment must execute (and
+            hash) exactly like the historical code path, and a shared
+            cross-trial store is something a determinism audit should
+            have to opt into.  Equivalence-tested either way.
         quiescence_skip: sync scheduler short-circuit (DESIGN.md §6.2).
     """
 
@@ -98,7 +112,9 @@ class EnvironmentSpec:
     arena: float = 5.0
     speed: float = 0.5
     validation: str = ""
+    scheme: str = ""
     cache: bool = True
+    artifacts: bool = False
     quiescence_skip: bool = True
 
     def resolved_channel(self) -> str:
@@ -148,6 +164,11 @@ class EnvironmentSpec:
             raise ExperimentError(
                 f"unknown validation {self.validation!r}; "
                 f"known: {[v for v in VALIDATION_CHOICES if v]}"
+            )
+        if self.scheme and self.scheme not in SCHEME_FACTORIES:
+            raise ExperimentError(
+                f"unknown signature scheme {self.scheme!r}; "
+                f"known: {sorted(SCHEME_FACTORIES)}"
             )
         resolved = self.resolved_channel()
         for name, owner in _CHANNEL_PARAMS.items():

@@ -90,6 +90,8 @@ def parallel_map(
     fn: Callable[[_Item], _Result],
     items: Iterable[_Item],
     workers: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[_Result]:
     """Apply ``fn`` to every item, optionally across worker processes.
 
@@ -103,6 +105,14 @@ def parallel_map(
             mutable state.
         items: the argument tuples, one per cell.
         workers: see :func:`resolve_workers`.
+        initializer: optional module-level function run once in each
+            worker process before any item (the sweep engine uses it to
+            install a warm artifact-cache snapshot, DESIGN.md §9).  Not
+            called on the in-process path — the parent already holds
+            whatever state it would install.  Must be a no-op with
+            respect to results: items may not depend on it having run.
+        initargs: arguments for ``initializer`` (picklable under the
+            ``spawn`` start method).
     """
     sequence: Sequence[_Item] = list(items)
     count = min(resolve_workers(workers), len(sequence))
@@ -112,5 +122,7 @@ def parallel_map(
     # start method (spawn) where fork is unavailable.
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with context.Pool(processes=count) as pool:
+    with context.Pool(
+        processes=count, initializer=initializer, initargs=initargs
+    ) as pool:
         return pool.map(fn, sequence, chunksize=1)

@@ -16,12 +16,14 @@ from repro.baselines.mtg import MtgNode, mtg_epoch_count
 from repro.baselines.mtgv2 import Mtgv2Node, mtgv2_epoch_count
 from repro.core.nectar import NectarNode, nectar_round_count
 from repro.core.validation import ValidationMode
+from repro.crypto import resolve_scheme
 from repro.crypto.cache import CacheStats, VerificationCache
 from repro.crypto.keys import KeyStore
 from repro.crypto.proofs import NeighborhoodProof, make_proof
 from repro.crypto.signer import HmacScheme, NullScheme, SignatureScheme
 from repro.crypto.sizes import DEFAULT_PROFILE, WireProfile
 from repro.errors import ExperimentError
+from repro.experiments.artifacts import ARTIFACTS
 from repro.experiments.envspec import DEFAULT_ENVIRONMENT, EnvironmentSpec
 from repro.graphs.analysis import correct_subgraph_partitioned
 from repro.graphs.connectivity import vertex_connectivity
@@ -97,12 +99,34 @@ class Deployment:
 
 
 def build_deployment(
-    graph: Graph, scheme: SignatureScheme | None = None, seed: int = 0
+    graph: Graph,
+    scheme: SignatureScheme | None = None,
+    seed: int = 0,
+    artifacts: bool = False,
 ) -> Deployment:
-    """Generate keys and per-edge neighborhood proofs for a topology."""
+    """Generate keys and per-edge neighborhood proofs for a topology.
+
+    Args:
+        artifacts: consult the sweep-scoped signer key pool
+            (DESIGN.md §9.1): key material for ``(scheme, node ids,
+            seed)`` is generated once per process and reused — safe
+            because key generation is a pure function of the seed.
+            The deployment then carries the *pool's* scheme instance
+            (stateful schemes keep their verification directory on the
+            instance that generated the keys).
+    """
     if scheme is None:
         scheme = HmacScheme()
-    key_store = KeyStore(scheme, graph.nodes(), seed=seed)
+    if artifacts:
+        key_store = ARTIFACTS.key_store(
+            scheme,
+            graph.nodes(),
+            seed,
+            lambda: KeyStore(scheme, graph.nodes(), seed=seed),
+        )
+        scheme = key_store.scheme
+    else:
+        key_store = KeyStore(scheme, graph.nodes(), seed=seed)
     proofs = {
         edge: make_proof(
             scheme, key_store.key_pair_of(edge[0]), key_store.key_pair_of(edge[1])
@@ -190,6 +214,7 @@ def compute_ground_truth(
     t: int,
     byzantine: frozenset[NodeId],
     connectivity_cutoff: int | None = None,
+    artifacts: bool = False,
 ) -> GroundTruth:
     """Reference facts for accuracy evaluation.
 
@@ -198,10 +223,21 @@ def compute_ground_truth(
             any value above ``t`` keeps ``byzantine_partitionable``
             exact (and values >= 2t + 1 keep the sensitivity analysis
             exact).  ``GroundTruth.connectivity`` is then min(κ, cutoff).
+        artifacts: serve κ from the sweep-scoped connectivity
+            certificate store (DESIGN.md §9.1), keyed by the graph's
+            content digest — the sweeps that score three protocols on
+            the same scenario graph pay for the max-flow work once.
     """
     if connectivity_cutoff is not None and connectivity_cutoff <= t:
         raise ExperimentError("ground-truth cutoff must exceed t")
-    kappa = vertex_connectivity(graph, cutoff=connectivity_cutoff)
+    if artifacts:
+        kappa = ARTIFACTS.connectivity(
+            graph,
+            connectivity_cutoff,
+            lambda: vertex_connectivity(graph, cutoff=connectivity_cutoff),
+        )
+    else:
+        kappa = vertex_connectivity(graph, cutoff=connectivity_cutoff)
     return GroundTruth(
         n=graph.n,
         t=t,
@@ -294,6 +330,8 @@ def run_trial(
     env.validate()
     if env.validation:
         validation_mode = ValidationMode(env.validation)
+    if env.scheme:
+        scheme = resolve_scheme(env.scheme)
     if not env.cache:
         verification_cache = False
     byzantine_factories = dict(byzantine_factories or {})
@@ -308,7 +346,9 @@ def run_trial(
         )
     if byzantine and isinstance(scheme, NullScheme):
         raise ExperimentError("NullScheme must not be used in adversarial runs")
-    deployment = build_deployment(graph, scheme=scheme, seed=seed)
+    deployment = build_deployment(
+        graph, scheme=scheme, seed=seed, artifacts=env.artifacts
+    )
     if verification_cache is True:
         cache: VerificationCache | None = VerificationCache()
     elif verification_cache is False:
@@ -348,7 +388,11 @@ def run_trial(
     truth = None
     if with_ground_truth:
         truth = compute_ground_truth(
-            graph, t, byzantine, connectivity_cutoff=ground_truth_cutoff
+            graph,
+            t,
+            byzantine,
+            connectivity_cutoff=ground_truth_cutoff,
+            artifacts=env.artifacts,
         )
     return TrialResult(
         verdicts=verdicts,

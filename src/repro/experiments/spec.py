@@ -44,7 +44,8 @@ independent per-trial seeds via
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+import pathlib
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.adversary.behaviors import (
@@ -59,6 +60,8 @@ from repro.baselines.mtg import MtgNode
 from repro.core.decision import clear_connectivity_cache
 from repro.core.nectar import NectarNode
 from repro.core.validation import ValidationMode
+from repro.crypto import resolve_scheme
+from repro.crypto.keys import KeyStore
 from repro.crypto.signer import NullScheme
 from repro.crypto.sizes import (
     COMPACT_PROFILE,
@@ -69,6 +72,11 @@ from repro.crypto.sizes import (
 )
 from repro.errors import ExperimentError
 from repro.experiments.accuracy import success_rate
+from repro.experiments.artifacts import (
+    ARTIFACTS,
+    artifact_key,
+    install_artifacts,
+)
 from repro.experiments.envspec import (
     DEFAULT_ENVIRONMENT,
     EnvironmentSpec,
@@ -76,6 +84,7 @@ from repro.experiments.envspec import (
     environment_from_overrides,
 )
 from repro.experiments.parallel import parallel_map, trial_seeds
+from repro.experiments.persistence import spec_digest
 from repro.experiments.report import FigureData
 from repro.experiments.runner import (
     HONEST_FACTORIES,
@@ -242,6 +251,34 @@ class TopologySpec:
                 self.family, self.n, self.t, self.k, seed=self.seed
             )
         raise ExperimentError(f"topology kind {self.kind!r} is not a scenario")
+
+    def build_artifact(self):
+        """The constructed artifact for *any* kind: graph or scenario.
+
+        What the artifact layer interns (DESIGN.md §9.1): plain
+        topologies for the ``build()`` kinds, the full deployment for
+        the scenario kinds — scenario construction is the expensive
+        part (bridging RNG, split surgery), so interning the finished
+        object saves the per-cell rebuild.
+        """
+        if self.kind in ("family", "drone"):
+            return self.build()
+        if self.kind == "partitioned-drone":
+            return saturation_partition_scenario(
+                self.n, self.t, self.radius, seed=self.seed
+            )
+        return self.build_scenario()
+
+    def artifact_key(self) -> str:
+        """The content address interned artifacts live under.
+
+        Covers *every* field (via ``dataclasses.asdict``), so mutating
+        any parameter of the spec — including ones a particular kind
+        happens to ignore — changes the key; stale reuse is impossible
+        by construction (``tests/test_artifacts.py`` pins this as a
+        property test).
+        """
+        return artifact_key({"topology": asdict(self)})
 
 
 @dataclass(frozen=True)
@@ -442,7 +479,7 @@ def _spam_kb_sent(spec: TrialSpec) -> float:
         raise ExperimentError(
             f"spam trials measure correct-kb-sent, got {spec.measure!r}"
         )
-    graph = spec.topology.build()
+    graph = _trial_artifact(spec, "graph")
     byzantine = {b: _spam_nectar_factory for b in range(spec.spammers)}
     t = max(1, spec.spammers)
     result = run_trial(
@@ -489,6 +526,73 @@ def _unbatched_kb_sent(spec: TrialSpec, graph: Graph) -> float:
     return result.mean_kb_sent()
 
 
+#: kinds whose artifact is a plain graph (``TopologySpec.build``).
+_GRAPH_KINDS = ("family", "drone")
+#: kinds whose artifact is a bridged scenario (``build_scenario``).
+_SCENARIO_KINDS = ("bridged-drone", "split")
+
+
+def _trial_artifact(spec: TrialSpec, want: str):
+    """The trial's topology/scenario, interned when artifacts are on.
+
+    ``want`` ("graph" | "scenario" | "any") selects the kind-checked
+    builder, and the kind check runs *before* the cache lookup — a
+    misconfigured spec fails with the same targeted
+    :class:`ExperimentError` whether the cache is cold, warm, or
+    disabled.  The artifact-enabled path and the direct build are
+    bit-identical — construction is a pure function of the topology
+    spec — so this only changes *when* the work happens (once per
+    process instead of once per cell), never the result.
+    """
+    top = spec.topology
+    if want == "graph":
+        if top.kind not in _GRAPH_KINDS:
+            raise ExperimentError(
+                f"topology kind {top.kind!r} needs build_scenario(), not build()"
+            )
+        build: Callable[[], object] = top.build
+    elif want == "scenario":
+        if top.kind not in _SCENARIO_KINDS:
+            raise ExperimentError(f"topology kind {top.kind!r} is not a scenario")
+        build = top.build_scenario
+    else:
+        build = top.build_artifact
+    if not spec.env.artifacts:
+        return build()
+    return ARTIFACTS.topology(top.artifact_key(), build)
+
+
+def _warm_artifacts(cells: Sequence[TrialSpec]) -> None:
+    """Parent-side artifact warm-up for a sweep's artifact cells.
+
+    Interns each distinct topology/scenario once (deduplicated by
+    content address inside :data:`ARTIFACTS`) and, for cells that pin a
+    signature scheme through the environment, pre-generates the signer
+    key pool — so after the worker pool forks (or adopts the snapshot
+    under spawn) no worker ever rebuilds a topology or regenerates a
+    key pair another already has.
+
+    Infeasible topology parameters are skipped silently here: warm-up
+    is an accelerator, and the failing cell raises its real
+    :class:`ExperimentError` with full context at execution time.
+    """
+    for cell in cells:
+        top = cell.topology
+        try:
+            artifact = ARTIFACTS.topology(top.artifact_key(), top.build_artifact)
+        except ExperimentError:
+            continue
+        if cell.env.scheme:
+            graph = artifact if isinstance(artifact, Graph) else artifact.graph
+            scheme = resolve_scheme(cell.env.scheme)
+            ARTIFACTS.key_store(
+                scheme,
+                graph.nodes(),
+                cell.seed,
+                lambda: KeyStore(scheme, graph.nodes(), seed=cell.seed),
+            )
+
+
 def execute_trial(spec: TrialSpec) -> float:
     """Execute one :class:`TrialSpec` and return its scalar measure.
 
@@ -496,7 +600,10 @@ def execute_trial(spec: TrialSpec) -> float:
     processes can import it), self-contained (all randomness flows
     from the spec's explicit seeds) and shared by every registered
     figure — which is what lets :class:`SweepEngine` shard any sweep
-    through :func:`~repro.experiments.parallel.parallel_map`.
+    through :func:`~repro.experiments.parallel.parallel_map`.  When a
+    cell's environment enables the artifact layer, trial-invariant
+    work (topology/scenario construction, key pools, connectivity
+    certificates) is served from :data:`ARTIFACTS` (DESIGN.md §9).
     """
     top = spec.topology
     if spec.adversary == "":
@@ -505,7 +612,7 @@ def execute_trial(spec: TrialSpec) -> float:
                 f"cost trials measure mean-kb-sent, got {spec.measure!r}"
             )
         if spec.protocol == "nectar":
-            graph = top.build()
+            graph = _trial_artifact(spec, "graph")
             if not spec.batching:
                 return _unbatched_kb_sent(spec, graph)
             result = nectar_cost_trial(
@@ -518,7 +625,7 @@ def execute_trial(spec: TrialSpec) -> float:
             return result.mean_kb_sent()
         if spec.protocol in ("mtg", "mtgv2"):
             result = baseline_cost_trial(
-                top.build(),
+                _trial_artifact(spec, "graph"),
                 spec.protocol,
                 profile=_resolve_profile(spec.profile),
                 rounds=spec.rounds or None,
@@ -538,7 +645,7 @@ def execute_trial(spec: TrialSpec) -> float:
     # historical serial loops did.
     clear_connectivity_cache()
     if spec.adversary == "two-faced":
-        scenario = top.build_scenario()
+        scenario = _trial_artifact(spec, "scenario")
         if spec.protocol == "nectar":
             return _two_faced_nectar_rate(scenario, seed=spec.seed, env=spec.env)
         if spec.protocol == "mtgv2":
@@ -551,7 +658,7 @@ def execute_trial(spec: TrialSpec) -> float:
             raise ExperimentError(
                 f"mixed adversary targets nectar, got {spec.protocol!r}"
             )
-        scenario = top.build_scenario()
+        scenario = _trial_artifact(spec, "scenario")
         return _mixed_nectar_rate(scenario, seed=spec.seed, env=spec.env)
     if spec.adversary == "saturating":
         if spec.protocol != "mtg":
@@ -559,9 +666,7 @@ def execute_trial(spec: TrialSpec) -> float:
                 f"saturating adversary targets mtg, got {spec.protocol!r}"
             )
         if top.kind == "partitioned-drone":
-            deployment = saturation_partition_scenario(
-                top.n, top.t, top.radius, seed=top.seed
-            )
+            deployment = _trial_artifact(spec, "any")
             return _saturation_rate(
                 deployment.graph,
                 deployment.byzantine,
@@ -569,7 +674,7 @@ def execute_trial(spec: TrialSpec) -> float:
                 seed=spec.seed,
                 env=spec.env,
             )
-        scenario = top.build_scenario()
+        scenario = _trial_artifact(spec, "scenario")
         return _saturation_rate(
             scenario.graph,
             scenario.byzantine,
@@ -1743,6 +1848,7 @@ class SweepEngine:
         workers: int | None = None,
         seed_mode: str | None = None,
         base_seed: int = 0,
+        artifact_store: str | pathlib.Path | None = None,
     ) -> FigureData:
         """Execute one sweep and return its figure.
 
@@ -1750,6 +1856,27 @@ class SweepEngine:
         single :func:`parallel_map` call, so ``workers`` shards every
         registered figure; rows are bit-identical for any worker count
         because each cell's randomness is explicit in its spec.
+
+        When any cell enables the artifact layer (``env.artifacts``),
+        the engine warms :data:`ARTIFACTS` in the parent before
+        sharding — interned topologies/scenarios, plus signer key pools
+        for ``env.scheme`` cells — and installs the warm snapshot in
+        every worker through ``parallel_map``'s initializer, so the
+        expensive trial-invariant work happens once per sweep rather
+        than once per cell or once per worker (DESIGN.md §9.2).
+
+        Args:
+            artifact_store: opt-in on-disk artifact layer: a directory
+                (conventionally ``benchmarks/out/``) holding one cache
+                snapshot per resolved sweep, keyed by spec digest.
+                Loaded before the run, saved after; ignored unless some
+                cell enables ``env.artifacts``.  The snapshot is saved
+                from the *parent* process: serial runs persist
+                everything the trials computed, while sharded runs
+                persist the warm-up set (interned topologies/scenarios
+                and ``env.scheme`` key pools — the expensive pieces);
+                certificates and default-scheme pools first computed
+                inside workers stay in those workers.
         """
         if isinstance(spec, ResolvedSweep):
             if (
@@ -1786,7 +1913,27 @@ class SweepEngine:
                 )
                 for cell in cells
             ]
-        values = parallel_map(execute_trial, cells, workers=workers)
+        artifact_cells = [cell for cell in cells if cell.env.artifacts]
+        store_path: pathlib.Path | None = None
+        if artifact_cells:
+            if artifact_store is not None:
+                store_path = pathlib.Path(artifact_store) / (
+                    f"artifacts-{resolved.spec.figure_id}-"
+                    f"{spec_digest(resolved.payload())[:12]}.pkl"
+                )
+                ARTIFACTS.load(store_path)
+            _warm_artifacts(artifact_cells)
+            values = parallel_map(
+                execute_trial,
+                cells,
+                workers=workers,
+                initializer=install_artifacts,
+                initargs=(ARTIFACTS.snapshot(),),
+            )
+            if store_path is not None:
+                ARTIFACTS.save(store_path)
+        else:
+            values = parallel_map(execute_trial, cells, workers=workers)
         cursor = 0
         for group in plan.groups:
             samples = values[cursor : cursor + len(group.cells)]

@@ -8,6 +8,7 @@ networkx only as a test oracle.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator
 
 from repro.errors import GraphError
@@ -26,7 +27,7 @@ class Graph:
         GraphError: on out-of-range endpoints or self loops.
     """
 
-    __slots__ = ("_n", "_adjacency", "_edges")
+    __slots__ = ("_n", "_adjacency", "_edges", "_digest")
 
     def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
         if n < 1:
@@ -49,6 +50,7 @@ class Graph:
         self._n = n
         self._adjacency = tuple(frozenset(neighbors) for neighbors in adjacency)
         self._edges = frozenset(edge_set)
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -100,6 +102,23 @@ class Graph:
 
     def __hash__(self) -> int:
         return hash((self._n, self._edges))
+
+    def digest(self) -> str:
+        """A stable content digest of ``(n, sorted edges)``.
+
+        Two graphs share a digest iff they are equal, independently of
+        construction order or process — which makes the digest usable
+        as a content address across worker processes and on disk (the
+        artifact layer keys connectivity certificates by it).  Computed
+        lazily and memoised; the graph is immutable so the digest never
+        goes stale.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256(f"graph|{self._n}|".encode())
+            for u, v in sorted(self._edges):
+                hasher.update(f"{u},{v};".encode())
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Graph(n={self._n}, edges={self.edge_count})"

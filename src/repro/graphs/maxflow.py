@@ -32,6 +32,14 @@ class FlowNetwork:
         self._to: list[int] = []
         self._capacity: list[int] = []
         self._outgoing: list[list[int]] = [[] for _ in range(vertex_count)]
+        # Scratch arrays for the Dinic phases, allocated once per
+        # network and reset in place via the matching templates: the
+        # vertex-connectivity sweeps build O(n²) flow networks and run
+        # several phases on each, so per-phase list allocation shows up.
+        self._levels = [-1] * vertex_count
+        self._next_edge = [0] * vertex_count
+        self._level_template = [-1] * vertex_count
+        self._next_template = [0] * vertex_count
 
     def add_edge(self, source: int, target: int, capacity: int) -> None:
         """Add a directed edge and its zero-capacity residual twin."""
@@ -51,7 +59,8 @@ class FlowNetwork:
     # Dinic phases
     # ------------------------------------------------------------------
     def _build_levels(self, source: int, sink: int) -> list[int] | None:
-        levels = [-1] * self.vertex_count
+        levels = self._levels
+        levels[:] = self._level_template
         levels[source] = 0
         queue = deque([source])
         while queue:
@@ -127,6 +136,25 @@ class FlowNetwork:
         """
         if source == sink:
             raise ValueError("source and sink must differ")
+        if cutoff is not None and cutoff <= 2:
+            # Adjacency-degree fast path: the flow cannot exceed the
+            # residual out-degree of the source or in-degree of the
+            # sink, and at most two shortest-path augmentations decide
+            # a cutoff <= 2 query — skipping the Dinic level machinery
+            # entirely.  This is the regime NECTAR's decision phase
+            # lives in (κ compared against small t).
+            capacity_bound = min(
+                self._residual_out_capacity(source, cutoff),
+                self._residual_in_capacity(sink, cutoff),
+            )
+            cutoff = min(cutoff, capacity_bound)
+            total = 0
+            while total < cutoff:
+                pushed = self._augment_shortest(source, sink, cutoff - total)
+                if pushed == 0:
+                    return total
+                total += pushed
+            return cutoff
         total = 0
         while True:
             levels = self._build_levels(source, sink)
@@ -134,7 +162,8 @@ class FlowNetwork:
                 if cutoff is not None:
                     return min(total, cutoff)
                 return total
-            next_edge = [0] * self.vertex_count
+            next_edge = self._next_edge
+            next_edge[:] = self._next_template
             while True:
                 pushed = self._augment(source, sink, INFINITY, levels, next_edge)
                 if pushed == 0:
@@ -142,3 +171,79 @@ class FlowNetwork:
                 total += pushed
                 if cutoff is not None and total >= cutoff:
                     return cutoff
+
+    # ------------------------------------------------------------------
+    # cutoff <= 2 fast path
+    # ------------------------------------------------------------------
+    def _residual_out_capacity(self, vertex: int, limit: int) -> int:
+        """Residual capacity leaving ``vertex``, saturated at ``limit``.
+
+        In the vertex-split connectivity networks the source's out-arcs
+        all enter unit internal arcs, so this is exactly the adjacency
+        degree — but the sum form stays correct for arbitrary
+        capacities.
+        """
+        capacity = self._capacity
+        total = 0
+        for edge_index in self._outgoing[vertex]:
+            if capacity[edge_index] > 0:
+                total += capacity[edge_index]
+                if total >= limit:
+                    return limit
+        return total
+
+    def _residual_in_capacity(self, vertex: int, limit: int) -> int:
+        """Residual capacity entering ``vertex``, saturated at ``limit``.
+
+        Each incoming edge's index is the reverse (``^ 1``) of an index
+        listed in the vertex's outgoing adjacency.
+        """
+        capacity = self._capacity
+        total = 0
+        for edge_index in self._outgoing[vertex]:
+            if capacity[edge_index ^ 1] > 0:
+                total += capacity[edge_index ^ 1]
+                if total >= limit:
+                    return limit
+        return total
+
+    def _augment_shortest(self, source: int, sink: int, limit: int) -> int:
+        """One Edmonds–Karp step: push along a shortest residual path.
+
+        Returns the amount pushed (0 when the sink is unreachable).
+        Correctness does not depend on path choice — any augmenting
+        path preserves max-flow optimality — so interleaving this with
+        the Dinic phases is safe; it is only used when ``cutoff``
+        bounds the answer by 2, where one BFS per flow unit is cheaper
+        than building level graphs.
+        """
+        parent_edge = self._levels  # reuse the scratch array
+        parent_edge[:] = self._level_template
+        parent_edge[source] = -2
+        queue = deque([source])
+        capacity = self._capacity
+        while queue:
+            vertex = queue.popleft()
+            if vertex == sink:
+                break
+            for edge_index in self._outgoing[vertex]:
+                target = self._to[edge_index]
+                if capacity[edge_index] > 0 and parent_edge[target] == -1:
+                    parent_edge[target] = edge_index
+                    queue.append(target)
+        if parent_edge[sink] == -1:
+            return 0
+        # Walk back to find the bottleneck, then apply it.
+        bottleneck = limit
+        vertex = sink
+        while vertex != source:
+            edge_index = parent_edge[vertex]
+            bottleneck = min(bottleneck, capacity[edge_index])
+            vertex = self._to[edge_index ^ 1]
+        vertex = sink
+        while vertex != source:
+            edge_index = parent_edge[vertex]
+            capacity[edge_index] -= bottleneck
+            capacity[edge_index ^ 1] += bottleneck
+            vertex = self._to[edge_index ^ 1]
+        return bottleneck

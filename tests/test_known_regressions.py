@@ -1,0 +1,94 @@
+"""Pinned reproductions of known, still-open bugs.
+
+Each test here is an ``xfail(strict=True)`` witness: it *must* fail
+while the bug exists, and the suite goes red the moment a change fixes
+(or shifts) the behaviour — at which point the xfail marker comes off
+and the test becomes a regression guard.  This replaces hoping that
+hypothesis happens to redraw the falsifying example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.behaviors import SilentNode
+from repro.core.decision import clear_connectivity_cache
+from repro.experiments.accuracy import validity_holds
+from repro.experiments.runner import (
+    compute_ground_truth,
+    honest_nectar_factory,
+    run_trial,
+)
+from repro.graphs.connectivity import is_vertex_cut
+from repro.graphs.graph import Graph
+from repro.types import Decision
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason=(
+        "Latent Definition-3 Validity violation (pre-existing; found by "
+        "hypothesis fuzzing during the PR-3 review, reproduced at commit "
+        "6d0897d and tracked in ROADMAP.md): on the path graph "
+        "0-1-2-3 with t=2 and Byzantine {0, 1} — node 0 acting fully "
+        "correctly, node 1 silent — the correct nodes 2 and 3 decide "
+        "PARTITIONABLE with confirmed=True, although {0, 1} is not a "
+        "vertex cut of G (removing it leaves the single edge 2-3, still "
+        "connected).  Theorem 2 says confirmed=True must imply an actual "
+        "cut; the decision-phase edge case at small n with correct-acting "
+        "Byzantine nodes breaks it."
+    ),
+)
+def test_definition_3_validity_on_the_path_graph_counterexample():
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    t = 2
+    byzantine = frozenset({0, 1})
+    clear_connectivity_cache()
+    result = run_trial(
+        graph,
+        t=t,
+        byzantine_factories={
+            0: honest_nectar_factory,  # correct-acting Byzantine node
+            1: lambda setup: SilentNode(setup.node_id),
+        },
+        with_ground_truth=False,
+        seed=0,
+    )
+    truth = compute_ground_truth(graph, t, byzantine)
+    correct_verdicts = result.correct_verdicts
+
+    # The run itself is well-formed: both correct nodes decide, and
+    # the declared Byzantine set genuinely is not a cut.
+    assert set(correct_verdicts) == {2, 3}
+    assert not is_vertex_cut(graph, byzantine)
+    assert not truth.correct_subgraph_partitioned
+
+    # The Validity property (Sec. III-D / Theorem 2) — this is what
+    # the open bug breaks: both correct nodes report confirmed=True.
+    assert validity_holds(correct_verdicts, truth), (
+        f"confirmed verdicts without a Byzantine cut: "
+        f"{[(v, vd.decision, vd.confirmed) for v, vd in correct_verdicts.items()]}"
+    )
+
+
+def test_path_graph_counterexample_decisions_are_stable():
+    """A non-xfail companion pinning today's (buggy) observable output,
+    so an accidental behaviour *shift* is caught even before the bug is
+    fixed: both correct nodes currently decide PARTITIONABLE with
+    confirmed=True."""
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    clear_connectivity_cache()
+    result = run_trial(
+        graph,
+        t=2,
+        byzantine_factories={
+            0: honest_nectar_factory,
+            1: lambda setup: SilentNode(setup.node_id),
+        },
+        with_ground_truth=False,
+        seed=0,
+    )
+    for node in (2, 3):
+        verdict = result.verdicts[node]
+        assert verdict.decision is Decision.PARTITIONABLE
+        assert verdict.confirmed is True

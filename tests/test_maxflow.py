@@ -79,3 +79,64 @@ class TestResidualReachability:
         network.add_edge(1, 2, 2)
         assert network.max_flow(0, 2) == 2
         assert network.residual_reachable(0) == {0, 1}
+
+
+class TestCutoffFastPath:
+    """The cutoff <= 2 adjacency-degree fast path must agree with the
+    full Dinic computation (it is the regime NECTAR's decision phase
+    runs in: κ compared against small t)."""
+
+    def _random_network(self, rng, vertices=8):
+        network = FlowNetwork(vertices)
+        for _ in range(rng.randint(vertices, 3 * vertices)):
+            u, v = rng.sample(range(vertices), 2)
+            network.add_edge(u, v, rng.choice((1, 1, 1, 2, INFINITY)))
+        return network
+
+    def test_matches_full_flow_on_random_networks(self):
+        import random
+
+        rng = random.Random(42)
+        for trial in range(200):
+            edges = []
+            vertices = rng.randint(2, 8)
+            network_a = FlowNetwork(vertices)
+            network_b = FlowNetwork(vertices)
+            for _ in range(rng.randint(vertices, 3 * vertices)):
+                u, v = rng.sample(range(vertices), 2)
+                capacity = rng.choice((1, 1, 1, 2, INFINITY))
+                network_a.add_edge(u, v, capacity)
+                network_b.add_edge(u, v, capacity)
+                edges.append((u, v))
+            source, sink = rng.sample(range(vertices), 2)
+            cutoff = rng.choice((0, 1, 2))
+            fast = network_a.max_flow(source, sink, cutoff=cutoff)
+            exact = network_b.max_flow(source, sink)
+            assert fast == min(exact, cutoff), (
+                f"trial {trial}: cutoff={cutoff} fast={fast} exact={exact} "
+                f"edges={edges} s={source} t={sink}"
+            )
+
+    def test_degree_bound_zero_returns_zero(self):
+        network = FlowNetwork(3)
+        network.add_edge(1, 2, 1)
+        assert network.max_flow(0, 2, cutoff=2) == 0  # isolated source
+
+    def test_cutoff_two_on_parallel_unit_paths(self):
+        network = FlowNetwork(6)
+        for middle in (1, 2, 3, 4):
+            network.add_edge(0, middle, 1)
+            network.add_edge(middle, 5, 1)
+        assert network.max_flow(0, 5, cutoff=2) == 2
+
+    def test_scratch_arrays_reused_across_calls(self):
+        """A second max_flow call on the same (now saturated) network
+        must see clean scratch state and report no extra flow."""
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1)
+        network.add_edge(1, 3, 1)
+        network.add_edge(0, 2, 1)
+        network.add_edge(2, 3, 1)
+        assert network.max_flow(0, 3) == 2
+        assert network.max_flow(0, 3) == 0
+        assert network.max_flow(0, 3, cutoff=2) == 0
