@@ -8,6 +8,8 @@ The subcommands cover the everyday uses of the library::
     python -m repro sweep fig3 --set n=40 --set ks=2,4,6 --workers 4
     python -m repro sweep fig3 --set env.loss_rate=0.4 --csv rows.csv
     python -m repro sweep fig3 --set env.artifacts=true --artifact-store benchmarks/out/
+    python -m repro mission partition-detection --set drifts=0.5,1.0 --timeline
+    python -m repro mission mtg-vs-nectar-detection --set env.bandwidth=2 --set env.channel=budgeted
     python -m repro bench --smoke --compare benchmarks/baselines
     python -m repro diff out/fig3-abc.json out/fig3-def.json
     python -m repro diff out-baseline/ out-candidate/
@@ -21,7 +23,10 @@ registered figure with declarative axis overrides (``--set``) or a
 JSON spec file, persisting results keyed by a stable spec hash;
 ``--set env.<field>=value`` addresses the environment layer (channel
 model, backend, validation, signature scheme, artifact cache —
-DESIGN.md §8-9) on every sweep.  ``bench`` runs the registered perf
+DESIGN.md §8-9) on every sweep.  ``mission`` runs the
+detection-over-time scenarios of the mission layer (DESIGN.md §10) —
+the same declarative sweep machinery, plus an optional per-epoch
+verdict timeline.  ``bench`` runs the registered perf
 scenarios headlessly and emits ``BENCH_*.json`` ledgers (wall times,
 speedups, cache hit rates), optionally comparing them against
 committed baselines (exit 1 on regression).  ``diff`` compares two
@@ -51,6 +56,11 @@ from repro.experiments.persistence import (
     dump_figure_json,
     save_figure,
     spec_digest,
+)
+from repro.experiments.artifacts import ARTIFACTS
+from repro.experiments.mission import (
+    MISSION_FIGURES,
+    mission_result,
 )
 from repro.experiments.report import FigureData
 from repro.experiments.runner import run_trial
@@ -201,6 +211,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base seed for --seed-mode hashed (default 0)",
     )
     _add_sweep_options(sweep)
+
+    mission = commands.add_parser(
+        "mission",
+        help=(
+            "run a detection-over-time mission scenario (DESIGN.md §10): "
+            "a sweep over evolving-topology missions, with an optional "
+            "per-epoch verdict timeline"
+        ),
+    )
+    mission.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(MISSION_FIGURES),
+        help="mission scenario id (omit with --list)",
+    )
+    mission.add_argument(
+        "--list", action="store_true", help="list mission scenarios and exit"
+    )
+    mission.add_argument(
+        "--timeline",
+        action="store_true",
+        help=(
+            "also replay the first cell's mission serially and print its "
+            "per-epoch verdict stream"
+        ),
+    )
+    mission.add_argument(
+        "--seed-mode",
+        choices=("index", "hashed"),
+        default=None,
+        help="per-trial seed policy (mission scenarios default to hashed)",
+    )
+    mission.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="base seed for --seed-mode hashed (default 0)",
+    )
+    _add_sweep_options(mission)
 
     bench = commands.add_parser(
         "bench",
@@ -363,14 +412,42 @@ def _parse_overrides(entries: Sequence[str]) -> dict:
     return overrides
 
 
-def _persist(figure: FigureData, resolved: ResolvedSweep, out: str) -> pathlib.Path:
+def _persist(
+    figure: FigureData,
+    resolved: ResolvedSweep,
+    out: str,
+    metadata: dict | None = None,
+) -> pathlib.Path:
     """Write the figure JSON per the --out convention."""
     target = pathlib.Path(out)
     if out.endswith(("/", "\\")) or target.is_dir():
-        return save_figure(figure, target, spec=resolved.payload())
+        return save_figure(figure, target, spec=resolved.payload(), metadata=metadata)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(dump_figure_json(figure, spec=resolved.payload()))
+    target.write_text(
+        dump_figure_json(figure, spec=resolved.payload(), metadata=metadata)
+    )
     return target
+
+
+def _artifact_metadata() -> dict | None:
+    """Artifact-cache stats of the finished run, if the cache saw use.
+
+    Printed on the human output and embedded as artefact JSON metadata
+    (DESIGN.md §9-10).  Under sharding the counters cover the whole
+    process tree — workers report their deltas back per cell.
+    """
+    stats = ARTIFACTS.stats
+    if stats.total() == 0 and stats.key_pool_bypasses == 0:
+        return None
+    return {"artifact_stats": stats.as_dict()}
+
+
+def _report_artifacts() -> dict | None:
+    """Print the one-line artifact summary; return the JSON metadata."""
+    metadata = _artifact_metadata()
+    if metadata is not None:
+        print(f"cache : {ARTIFACTS.stats.describe()}")
+    return metadata
 
 
 def _persist_csv(figure: FigureData, out: str) -> pathlib.Path:
@@ -403,8 +480,9 @@ def _run_figure(args: argparse.Namespace) -> int:
         resolved, workers=args.workers, artifact_store=args.artifact_store
     )
     _render_figure(figure, spark=args.spark)
+    metadata = _report_artifacts()
     if args.out:
-        print(f"saved: {_persist(figure, resolved, args.out)}")
+        print(f"saved: {_persist(figure, resolved, args.out, metadata=metadata)}")
     if args.csv:
         print(f"csv  : {_persist_csv(figure, args.csv)}")
     return 0
@@ -498,8 +576,89 @@ def _run_sweep(args: argparse.Namespace) -> int:
         resolved, workers=args.workers, artifact_store=args.artifact_store
     )
     _render_figure(figure)
+    metadata = _report_artifacts()
     if args.out:
-        print(f"saved: {_persist(figure, resolved, args.out)}")
+        print(f"saved: {_persist(figure, resolved, args.out, metadata=metadata)}")
+    if args.csv:
+        print(f"csv  : {_persist_csv(figure, args.csv)}")
+    return 0
+
+
+def _list_missions() -> int:
+    print("mission scenarios (repro mission <id> --set axis=value ...):")
+    for figure_id in sorted(MISSION_FIGURES):
+        spec = FIGURE_SPECS[figure_id]
+        axes = " ".join(axis.name for axis in spec.axes)
+        print(f"  {figure_id:<26} {spec.title}")
+        print(f"  {'':<26} axes: {axes}")
+    print(
+        "environment axes (valid on every mission): "
+        + " ".join(environment_axis_names())
+    )
+    return 0
+
+
+def _print_timeline(resolved: ResolvedSweep) -> None:
+    """Replay the first cell's mission serially, print its epoch stream."""
+    plan = SWEEP_ENGINE.plan(resolved)
+    cells = [cell for group in plan.groups for cell in group.cells]
+    if not cells:
+        print("timeline: the resolved sweep has no cells")
+        return
+    cell = cells[0].with_env(resolved.env, resolved.env_fields)
+    mission = cell.mission
+    # Serial sweeps memoised this mission in-process, making the
+    # timeline free; sharded sweeps memoised it in a worker that is
+    # gone, so the timeline costs one extra serial flight.
+    result = mission_result(mission)
+    print(
+        f"timeline: {mission.protocol} mission, seed={mission.seed}, "
+        f"{result.epochs} epochs "
+        f"(trajectory: {mission.trajectory.kind}, n={mission.trajectory.n})"
+    )
+    for report in result.reports:
+        verdict = report.verdict
+        decision = getattr(verdict, "decision", verdict)
+        confirmed = getattr(verdict, "confirmed", False)
+        label = f"{decision}" + (" (confirmed)" if confirmed else "")
+        truth = "cut " if report.partitionable else "safe"
+        marker = " !" if report.escalated else "  "
+        print(
+            f"  epoch {report.epoch:>3}{marker} {label:<32} truth={truth} "
+            f"{report.mean_kb_sent:8.1f} KB/node"
+        )
+    print(
+        f"  -> emergence={result.emergence_epoch} "
+        f"detection={result.detection_epoch} "
+        f"latency={result.detection_latency:g} "
+        f"false-alarms={result.false_alarm_rate:.0%}"
+    )
+
+
+def _run_mission_cmd(args: argparse.Namespace) -> int:
+    if args.list:
+        return _list_missions()
+    if args.name is None:
+        print("error: pass a mission scenario id or --list")
+        return 2
+    resolved = SWEEP_ENGINE.resolve(
+        args.name,
+        scale="paper" if args.full else "auto",
+        overrides=_parse_overrides(args.overrides),
+        seed_mode=args.seed_mode,
+        base_seed=args.base_seed if args.base_seed is not None else 0,
+    )
+    print(f"mission : {args.name} ({resolved.scale} scale, seeds={resolved.seed_mode})")
+    print(f"spec    : {spec_digest(resolved.payload())[:12]}")
+    figure = SWEEP_ENGINE.run(
+        resolved, workers=args.workers, artifact_store=args.artifact_store
+    )
+    _render_figure(figure)
+    metadata = _report_artifacts()
+    if args.timeline:
+        _print_timeline(resolved)
+    if args.out:
+        print(f"saved: {_persist(figure, resolved, args.out, metadata=metadata)}")
     if args.csv:
         print(f"csv  : {_persist_csv(figure, args.csv)}")
     return 0
@@ -626,6 +785,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _run_check,
         "figure": _run_figure,
         "sweep": _run_sweep,
+        "mission": _run_mission_cmd,
         "bench": _run_bench,
         "diff": _run_diff,
         "map": _run_map,

@@ -41,17 +41,19 @@ Sharing: the cache is a module-level singleton (:data:`ARTIFACTS`).
 Under the ``fork`` start method a parent-side warm-up
 (:meth:`~repro.experiments.spec.SweepEngine.run`) is inherited by every
 worker for free; under ``spawn`` the engine replays a snapshot through
-``parallel_map``'s per-worker initializer.  Workers treat the shared
-store as read-only — their private misses simply fill their own copy.
-The on-disk layer (:meth:`ArtifactCache.save` / :meth:`load`) persists
-snapshots under ``benchmarks/out/`` keyed by resolved-sweep digest;
-snapshots are written by the parent, so under sharding they carry the
-parent-side warm-up set (worker-local fills are per-process and are
-not merged back — see ``SweepEngine.run``).
+``parallel_map``'s per-worker initializer.  Workers fill their private
+misses locally and report them back: each sharded cell returns the
+worker's :meth:`ArtifactCache.drain_delta` alongside its value, and
+the parent folds the deltas in with :meth:`ArtifactCache.merge_delta`
+(DESIGN.md §10.3).  The on-disk layer (:meth:`ArtifactCache.save` /
+:meth:`load`) persists snapshots under ``benchmarks/out/`` keyed by
+resolved-sweep digest; snapshots are written by the parent after the
+merge, so they cover everything the process tree computed.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
 import pickle
 from dataclasses import dataclass
@@ -130,6 +132,25 @@ class ArtifactStats:
             "hit_rate": self.hit_rate(),
         }
 
+    def counters(self) -> dict[str, int]:
+        """All counter fields as a flat name -> value mapping."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    def describe(self) -> str:
+        """One human-readable summary line (sweep/mission CLI output)."""
+        return (
+            f"{self.hits()} hits / {self.misses()} misses "
+            f"({self.hit_rate():.1%} hit rate; topologies "
+            f"{self.topology_hits}/{self.topology_hits + self.topology_misses}, "
+            f"certificates {self.connectivity_hits}/"
+            f"{self.connectivity_hits + self.connectivity_misses}, "
+            f"key pools {self.key_pool_hits}/"
+            f"{self.key_pool_hits + self.key_pool_misses})"
+        )
+
 
 class ArtifactCache:
     """Content-addressed stores for trial-invariant sweep artifacts.
@@ -146,6 +167,14 @@ class ArtifactCache:
         self._topologies: dict[str, object] = {}
         self._connectivity: dict[tuple[str, int | None], int] = {}
         self._key_pools: dict[tuple, KeyStore] = {}
+        self._reset_delta()
+
+    def _reset_delta(self) -> None:
+        """Start a fresh delta window (entries + counters since now)."""
+        self._delta_topologies: dict[str, object] = {}
+        self._delta_connectivity: dict[tuple[str, int | None], int] = {}
+        self._delta_key_pools: dict[tuple, KeyStore] = {}
+        self._stats_mark = self.stats.counters()
 
     def __len__(self) -> int:
         return len(self._topologies) + len(self._connectivity) + len(self._key_pools)
@@ -166,6 +195,7 @@ class ArtifactCache:
         self.stats.topology_misses += 1
         value = build()
         self._topologies[key] = value
+        self._delta_topologies[key] = value
         return value
 
     def connectivity(
@@ -185,6 +215,7 @@ class ArtifactCache:
         self.stats.connectivity_misses += 1
         value = compute()
         self._connectivity[key] = value
+        self._delta_connectivity[key] = value
         return value
 
     def key_store(
@@ -214,6 +245,7 @@ class ArtifactCache:
         self.stats.key_pool_misses += 1
         store = build()
         self._key_pools[key] = store
+        self._delta_key_pools[key] = store
         return store
 
     # ------------------------------------------------------------------
@@ -232,7 +264,9 @@ class ArtifactCache:
         """Replace the stores with a :meth:`snapshot` (worker warm-up).
 
         Unknown snapshot versions are ignored — an empty cache is
-        always correct.
+        always correct.  Adoption starts a fresh delta window: what a
+        worker reports back (:meth:`drain_delta`) covers only the
+        entries *it* computed, never the inherited warm-up set.
         """
         if not isinstance(snapshot, dict):
             return
@@ -241,6 +275,55 @@ class ArtifactCache:
         self._topologies = dict(snapshot["topologies"])
         self._connectivity = dict(snapshot["connectivity"])
         self._key_pools = dict(snapshot["key_pools"])
+        self._reset_delta()
+
+    def drain_delta(self) -> dict:
+        """Entries and counter increments since the last drain/adopt.
+
+        The worker side of the delta protocol (DESIGN.md §9.2): each
+        sharded cell returns the store entries its worker added since
+        its previous report, so the parent can fold worker-computed
+        artifacts (connectivity certificates, lazily-built key pools)
+        and hit/miss counters back into its own cache — which is what
+        makes ``--artifact-store`` snapshots and the surfaced cache
+        stats cover the whole process tree, not just the parent's
+        warm-up set.  Draining starts the next window.
+        """
+        counts = self.stats.counters()
+        delta = {
+            "version": _SNAPSHOT_VERSION,
+            "topologies": self._delta_topologies,
+            "connectivity": self._delta_connectivity,
+            "key_pools": self._delta_key_pools,
+            "stats": {
+                name: counts[name] - self._stats_mark.get(name, 0)
+                for name in counts
+            },
+        }
+        self._reset_delta()
+        return delta
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold one :meth:`drain_delta` report into this cache.
+
+        Store entries are unioned (first writer wins — builders are
+        pure, so colliding keys hold equal values) and counter
+        increments are added to :attr:`stats`.  Unknown versions are
+        ignored, mirroring :meth:`adopt`.
+        """
+        if not isinstance(delta, dict) or delta.get("version") != _SNAPSHOT_VERSION:
+            return
+        for entries, target in (
+            (delta.get("topologies"), self._topologies),
+            (delta.get("connectivity"), self._connectivity),
+            (delta.get("key_pools"), self._key_pools),
+        ):
+            for key, value in (entries or {}).items():
+                target.setdefault(key, value)
+        for name, increment in (delta.get("stats") or {}).items():
+            if hasattr(self.stats, name):
+                setattr(self.stats, name, getattr(self.stats, name) + increment)
+                self._stats_mark[name] = self._stats_mark.get(name, 0) + increment
 
     def clear(self) -> None:
         """Drop every store and reset the counters."""
@@ -248,6 +331,7 @@ class ArtifactCache:
         self._topologies.clear()
         self._connectivity.clear()
         self._key_pools.clear()
+        self._reset_delta()
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
         """Persist a snapshot (the opt-in on-disk layer)."""
@@ -291,8 +375,12 @@ def install_artifacts(snapshot: dict) -> None:
     """Worker-process initializer: adopt a parent snapshot.
 
     Module-level so :func:`repro.experiments.parallel.parallel_map` can
-    ship it to spawned workers; under fork it is a cheap no-op (the
-    snapshot dictionaries are the inherited ones).
+    ship it to spawned workers.  Under fork the stores it installs are
+    the inherited ones, but the call is still load-bearing:
+    :meth:`ArtifactCache.adopt` resets the delta window, without which
+    a forked worker's first :meth:`~ArtifactCache.drain_delta` would
+    re-report the parent's inherited warm-up entries and counters (and
+    the parent's merge would then double-count its own stats).
     """
     ARTIFACTS.adopt(snapshot)
 

@@ -33,13 +33,13 @@ import hashlib
 import json
 import pathlib
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.errors import ExperimentError
 from repro.experiments.artifacts import ARTIFACTS, clear_artifact_cache
 from repro.experiments.diff import FigureDiff, diff_artefacts
-from repro.experiments.parallel import resolve_workers
+from repro.experiments.mission import clear_mission_memo
 from repro.experiments.report import FigureData
 from repro.experiments.runner import baseline_cost_trial, nectar_cost_trial
 from repro.experiments.spec import SWEEP_ENGINE, TrialSpec, _resolve_profile
@@ -125,6 +125,18 @@ BENCH_SCENARIOS: dict[str, BenchScenario] = {
             },
             gate_speedup=False,
         ),
+        BenchScenario(
+            name="partition-detection",
+            title=(
+                "mission-layer detection sweep under env.scheme=rsa-512: "
+                "interned trajectories + per-mission key pools amortise "
+                "keygen across every epoch (keys do not rotate mid-mission)"
+            ),
+            figure_id="partition-detection",
+            overrides={},
+            smoke_overrides={"trials": 2, "epochs": 5, "drifts": (1.0,)},
+            env={"scheme": "rsa-512"},
+        ),
     )
 }
 
@@ -152,6 +164,8 @@ def _probe_trial(cell: TrialSpec) -> dict | None:
     hit rate.  Adversarial scenarios return None — their cells expose
     no comparable cost counters.
     """
+    if not isinstance(cell, TrialSpec):
+        return None  # mission cells expose no single-trial counters
     if cell.adversary != "" or cell.protocol not in ("nectar", "mtg", "mtgv2"):
         return None
     graph = cell.topology.build()
@@ -211,6 +225,9 @@ def run_scenario(
             scenario.figure_id, scale="reduced", overrides=overrides
         )
         clear_artifact_cache()
+        # Mission scenarios memoise executed missions per process; a
+        # fair cache-off-vs-on comparison flies them from cold twice.
+        clear_mission_memo()
         started = time.perf_counter()
         figure = SWEEP_ENGINE.run(resolved, workers=workers)
         walls[mode] = time.perf_counter() - started
@@ -224,12 +241,7 @@ def run_scenario(
                 # Probe under the scenario's resolved environment (the
                 # artifact cache is still warm, so this is cheap even
                 # for keygen-heavy schemes).
-                cell = plan_cells[0]
-                if resolved.env_fields:
-                    cell = replace(
-                        cell,
-                        env=cell.env.with_fields(resolved.env, resolved.env_fields),
-                    )
+                cell = plan_cells[0].with_env(resolved.env, resolved.env_fields)
                 probe = _probe_trial(cell)
     clear_artifact_cache()
     rows_equal = rows["artifacts_off"] == rows["artifacts_on"]
@@ -249,11 +261,10 @@ def run_scenario(
         "rows_sha256": _rows_digest(rows["artifacts_on"]),
         "rows": rows["artifacts_on"],
         "artifact_stats": artifact_stats,
-        # Worker processes keep their own counters, so under sharding
-        # the recorded stats cover only the parent's warm-up + probe.
-        "artifact_stats_scope": (
-            "process" if resolve_workers(workers) <= 1 else "parent-only"
-        ),
+        # Sharded cells report their worker's cache delta back to the
+        # parent (DESIGN.md §10.3), so the counters cover the whole
+        # process tree for any worker count.
+        "artifact_stats_scope": "process-tree",
         "probe": probe,
     }
 

@@ -10,7 +10,8 @@ invisible to the sweep layer.  :class:`EnvironmentSpec` packages them
 into one frozen, picklable cell that composes:
 
 * a **channel model** (:data:`repro.net.channel.CHANNEL_MODELS`):
-  ``reliable`` | ``lossy`` | ``jittered`` | ``mobility``;
+  ``reliable`` | ``lossy`` | ``jittered`` | ``mobility`` |
+  ``budgeted``;
 * an **execution backend** (:data:`repro.net.channel.BACKENDS`):
   ``sync`` | ``async``;
 * the **validation / cache / quiescence** execution knobs.
@@ -58,6 +59,8 @@ _CHANNEL_PARAMS = {
     "reach": "mobility",
     "arena": "mobility",
     "speed": "mobility",
+    "bandwidth": "budgeted",
+    "latency_ms": "budgeted",
 }
 
 
@@ -77,7 +80,8 @@ class EnvironmentSpec:
             (:data:`repro.net.channel.BACKENDS`).
         channel: channel-model name
             (:data:`repro.net.channel.CHANNEL_MODELS`); "" auto-selects
-            ``lossy`` when ``loss_rate`` > 0, else ``reliable``.
+            ``lossy`` when ``loss_rate`` > 0, else ``budgeted`` when
+            ``bandwidth``/``latency_ms`` are set, else ``reliable``.
         loss_rate: per-message drop probability for the ``lossy``
             channel (sync backend only; the paper's model is 0.0).
         jitter_ms: in-round delivery jitter bound for the ``jittered``
@@ -85,6 +89,13 @@ class EnvironmentSpec:
         reach: radio reach of the ``mobility`` channel.
         arena: arena side length of the ``mobility`` channel.
         speed: per-round node speed of the ``mobility`` channel.
+        bandwidth: per-round deliveries per sender of the ``budgeted``
+            channel (0 = unlimited; the radio is a shared medium, so
+            the budget spans all of a node's links).  Lets missions
+            *degrade* links rather than only rewire them
+            (DESIGN.md §10).
+        latency_ms: per-delivery latency bound of the ``budgeted``
+            channel (observable on the asyncio backend).
         validation: override of the trial's validation mode
             (:data:`VALIDATION_CHOICES`; "" keeps the caller default).
         scheme: override of the trial's signature scheme, by registry
@@ -111,6 +122,8 @@ class EnvironmentSpec:
     reach: float = 2.5
     arena: float = 5.0
     speed: float = 0.5
+    bandwidth: int = 0
+    latency_ms: float = 0.0
     validation: str = ""
     scheme: str = ""
     cache: bool = True
@@ -121,7 +134,11 @@ class EnvironmentSpec:
         """The effective channel-model name ("" auto-resolution)."""
         if self.channel:
             return self.channel
-        return "lossy" if self.loss_rate > 0.0 else "reliable"
+        if self.loss_rate > 0.0:
+            return "lossy"
+        if self.bandwidth > 0 or self.latency_ms > 0.0:
+            return "budgeted"
+        return "reliable"
 
     def channel_model(self) -> ChannelModel:
         """Instantiate this environment's channel model.
@@ -130,13 +147,15 @@ class EnvironmentSpec:
             ExperimentError: on unknown names or invalid parameters.
         """
         name = self.resolved_channel()
-        params: dict[str, float] = {}
+        params: dict[str, object] = {}
         if name == "lossy":
             params["loss_rate"] = self.loss_rate
         elif name == "jittered":
             params["jitter_ms"] = self.jitter_ms
         elif name == "mobility":
             params.update(reach=self.reach, arena=self.arena, speed=self.speed)
+        elif name == "budgeted":
+            params.update(bandwidth=self.bandwidth, latency_ms=self.latency_ms)
         try:
             return channel_model(name, **params)
         except ChannelError as exc:
@@ -182,8 +201,11 @@ class EnvironmentSpec:
                 )
         model = self.channel_model()  # raises on bad parameters
         if self.backend != "sync" and not model.async_safe:
+            # Delivery-order-dependent models (i.i.d. loss, finite
+            # bandwidth budgets) are only modelled on the sync backend.
             raise ExperimentError(
-                "message loss is only modelled on the sync backend"
+                f"the {resolved!r} channel configuration is delivery-order "
+                "dependent and only modelled on the sync backend"
             )
 
     @property
@@ -262,6 +284,12 @@ def _coerce(name: str, default: object, value: object) -> object:
             if word in _FALSE_WORDS:
                 return False
         raise ExperimentError(f"env.{name} expects a boolean, got {value!r}")
+    if isinstance(default, int) and not isinstance(default, bool):
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ExperimentError(f"env.{name} expects an integer, got {value!r}")
     if isinstance(default, float):
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             return float(value)

@@ -86,6 +86,18 @@ def trial_seeds(base_seed: int, count: int) -> list[int]:
     return seeds
 
 
+def will_shard(workers: int | None, item_count: int) -> bool:
+    """Whether :func:`parallel_map` would use a worker pool at all.
+
+    The single source of truth for the pool-vs-inline decision —
+    callers that must behave differently per path (the sweep engine's
+    worker-delta protocol only makes sense when cells really run in
+    worker processes) branch on this instead of re-deriving the rule,
+    so the two can never desynchronise.
+    """
+    return min(resolve_workers(workers), item_count) > 1
+
+
 def parallel_map(
     fn: Callable[[_Item], _Result],
     items: Iterable[_Item],
@@ -115,9 +127,9 @@ def parallel_map(
             ``spawn`` start method).
     """
     sequence: Sequence[_Item] = list(items)
-    count = min(resolve_workers(workers), len(sequence))
-    if count <= 1:
+    if not will_shard(workers, len(sequence)):
         return [fn(item) for item in sequence]
+    count = min(resolve_workers(workers), len(sequence))
     # fork is cheapest and inherits sys.path; fall back to the default
     # start method (spawn) where fork is unavailable.
     methods = multiprocessing.get_all_start_methods()

@@ -46,12 +46,21 @@ def spec_digest(spec: dict) -> str:
     return hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
 
 
-def figure_to_dict(figure: FigureData, spec: dict | None = None) -> dict:
+def figure_to_dict(
+    figure: FigureData,
+    spec: dict | None = None,
+    metadata: dict | None = None,
+) -> dict:
     """A JSON-ready representation of a figure.
 
     Args:
         spec: optional resolved-sweep payload to embed (with its
             digest) so the artefact records exactly how it was made.
+        metadata: optional run metadata to embed (e.g. artifact-cache
+            hit/miss stats, DESIGN.md §9-10).  Informational only: the
+            diff tooling compares figures, never metadata, because
+            metadata may legitimately vary between equivalent runs
+            (cache counters depend on worker scheduling).
     """
     payload = {
         "schema": _SCHEMA_VERSION,
@@ -78,6 +87,8 @@ def figure_to_dict(figure: FigureData, spec: dict | None = None) -> dict:
     }
     if spec is not None:
         payload["spec"] = {"digest": spec_digest(spec), "resolved": spec}
+    if metadata is not None:
+        payload["metadata"] = metadata
     return payload
 
 
@@ -116,9 +127,17 @@ def figure_from_dict(payload: dict) -> FigureData:
         raise ExperimentError(f"malformed figure payload: {exc}") from exc
 
 
-def dump_figure_json(figure: FigureData, spec: dict | None = None) -> str:
-    """Figure (and optionally its resolved spec) as a JSON string."""
-    return json.dumps(figure_to_dict(figure, spec=spec), indent=2, sort_keys=True)
+def dump_figure_json(
+    figure: FigureData,
+    spec: dict | None = None,
+    metadata: dict | None = None,
+) -> str:
+    """Figure (and optionally spec/metadata) as a JSON string."""
+    return json.dumps(
+        figure_to_dict(figure, spec=spec, metadata=metadata),
+        indent=2,
+        sort_keys=True,
+    )
 
 
 def load_figure_json(text: str) -> FigureData:
@@ -163,17 +182,20 @@ def save_figure(
     figure: FigureData,
     directory: str | pathlib.Path,
     spec: dict | None = None,
+    metadata: dict | None = None,
 ) -> pathlib.Path:
     """Write a figure's JSON into ``directory`` and return the path.
 
     The file is keyed by :func:`figure_file_name`, so re-running an
     identical resolved spec overwrites its own artefact while any
-    change of axis values, scale or seed policy lands in a new file.
+    change of axis values, scale or seed policy lands in a new file
+    (metadata never participates in the key — it describes the run,
+    not the spec).
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / figure_file_name(figure, spec=spec)
-    path.write_text(dump_figure_json(figure, spec=spec))
+    path.write_text(dump_figure_json(figure, spec=spec, metadata=metadata))
     return path
 
 

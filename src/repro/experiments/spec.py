@@ -83,7 +83,7 @@ from repro.experiments.envspec import (
     environment_axis_names,
     environment_from_overrides,
 )
-from repro.experiments.parallel import parallel_map, trial_seeds
+from repro.experiments.parallel import parallel_map, trial_seeds, will_shard
 from repro.experiments.persistence import spec_digest
 from repro.experiments.report import FigureData
 from repro.experiments.runner import (
@@ -324,6 +324,21 @@ class TrialSpec:
     measure: str = "mean-kb-sent"
     env: EnvironmentSpec = DEFAULT_ENVIRONMENT
 
+    def with_env(
+        self, env: EnvironmentSpec, fields: Sequence[str]
+    ) -> "TrialSpec":
+        """This cell with ``env``'s values for the named fields.
+
+        Part of the *sweep-cell protocol* (every cell type the engine
+        executes — :class:`TrialSpec` here, mission cells in
+        :mod:`repro.experiments.mission` — exposes ``env``,
+        ``with_env`` and an executor path), which is how sweep-wide
+        ``env.*`` overrides apply uniformly to heterogeneous cells.
+        """
+        if not fields:
+            return self
+        return replace(self, env=self.env.with_fields(env, fields))
+
 
 # ----------------------------------------------------------------------
 # The one cell executor
@@ -562,7 +577,7 @@ def _trial_artifact(spec: TrialSpec, want: str):
     return ARTIFACTS.topology(top.artifact_key(), build)
 
 
-def _warm_artifacts(cells: Sequence[TrialSpec]) -> None:
+def _warm_artifacts(cells: Sequence[object]) -> None:
     """Parent-side artifact warm-up for a sweep's artifact cells.
 
     Interns each distinct topology/scenario once (deduplicated by
@@ -570,13 +585,22 @@ def _warm_artifacts(cells: Sequence[TrialSpec]) -> None:
     signature scheme through the environment, pre-generates the signer
     key pool — so after the worker pool forks (or adopts the snapshot
     under spawn) no worker ever rebuilds a topology or regenerates a
-    key pair another already has.
+    key pair another already has.  Cell types that are not plain trial
+    specs (mission cells) bring their own ``warm_artifacts`` hook.
 
     Infeasible topology parameters are skipped silently here: warm-up
     is an accelerator, and the failing cell raises its real
     :class:`ExperimentError` with full context at execution time.
     """
     for cell in cells:
+        if not isinstance(cell, TrialSpec):
+            warm = getattr(cell, "warm_artifacts", None)
+            if warm is not None:
+                try:
+                    warm()
+                except ExperimentError:
+                    pass
+            continue
         top = cell.topology
         try:
             artifact = ARTIFACTS.topology(top.artifact_key(), top.build_artifact)
@@ -604,7 +628,16 @@ def execute_trial(spec: TrialSpec) -> float:
     cell's environment enables the artifact layer, trial-invariant
     work (topology/scenario construction, key pools, connectivity
     certificates) is served from :data:`ARTIFACTS` (DESIGN.md §9).
+
+    Cells that are not plain :class:`TrialSpec` instances (the mission
+    cells of :mod:`repro.experiments.mission`) execute themselves: any
+    picklable object with an ``execute() -> float`` method is a valid
+    sweep cell, which is what lets the mission layer register temporal
+    scenarios in :data:`FIGURE_SPECS` without the engine knowing their
+    shape (DESIGN.md §10).
     """
+    if not isinstance(spec, TrialSpec):
+        return spec.execute()
     top = spec.topology
     if spec.adversary == "":
         if spec.measure != "mean-kb-sent":
@@ -685,6 +718,23 @@ def execute_trial(spec: TrialSpec) -> float:
     raise ExperimentError(f"unknown adversary {spec.adversary!r}")
 
 
+def _execute_cell_with_delta(spec) -> tuple[float, dict]:
+    """Execute one cell and report the worker's artifact-cache delta.
+
+    The sharded-artifact executor: the value is exactly
+    :func:`execute_trial`'s, and the delta carries whatever store
+    entries and counters this worker accumulated since its previous
+    report (cells run sequentially within a worker, so draining after
+    every cell partitions the worker's additions without overlap).
+    The parent merges the deltas back into :data:`ARTIFACTS`, which is
+    what lets ``--artifact-store`` snapshots persist worker-computed
+    certificates and key pools, and sweep output report whole-tree hit
+    rates (DESIGN.md §9.2).
+    """
+    value = execute_trial(spec)
+    return value, ARTIFACTS.drain_delta()
+
+
 def attack_rates(
     n: int, t: int, radius: float = 1.2, seed: int = 0
 ) -> dict[str, float]:
@@ -741,11 +791,22 @@ class AxisSpec:
 
 @dataclass(frozen=True)
 class CellGroup:
-    """One figure row: a series name, an x value and its trial cells."""
+    """One figure row: a series name, an x value and its trial cells.
+
+    ``drop_value`` marks a sentinel scalar the aggregation excludes:
+    cells whose measure is *undefined* for their draw (a mission whose
+    ground-truth cut never emerged has no detection latency) return
+    the sentinel instead of a sample, and the row's mean/CI covers
+    only the defined draws — ``Point.trials`` shows how many survived,
+    and a row whose every cell returned the sentinel is omitted
+    entirely (rendered as ``-``).  ``None`` (the default) keeps every
+    value, the historical behaviour of all non-mission figures.
+    """
 
     series: str
     x: float
     cells: tuple[TrialSpec, ...]
+    drop_value: float | None = None
 
 
 @dataclass
@@ -776,6 +837,36 @@ def _plan(name: str):
         return fn
 
     return register
+
+
+def register_plan(name: str, builder: Callable[[dict], "FigurePlan"]) -> str:
+    """Make a plan builder addressable by name from outside this module.
+
+    The mission layer (:mod:`repro.experiments.mission`) registers its
+    temporal plans here at import time.  Re-registering the same
+    builder is a no-op; a different builder under a taken name raises.
+    """
+    existing = _PLANS.get(name)
+    if existing is not None and existing is not builder:
+        raise ExperimentError(f"plan {name!r} already registered differently")
+    _PLANS[name] = builder
+    return name
+
+
+def register_sweep(spec: "SweepSpec") -> str:
+    """Register one :class:`SweepSpec` in :data:`FIGURE_SPECS`.
+
+    Like :func:`register_profile`, registration must happen at import
+    time so worker processes under the ``spawn`` start method see the
+    same registry.  Idempotent for equal specs.
+    """
+    existing = FIGURE_SPECS.get(spec.figure_id)
+    if existing is not None and existing != spec:
+        raise ExperimentError(
+            f"figure {spec.figure_id!r} already registered differently"
+        )
+    FIGURE_SPECS[spec.figure_id] = spec
+    return spec.figure_id
 
 
 @dataclass(frozen=True)
@@ -1871,12 +1962,11 @@ class SweepEngine:
                 snapshot per resolved sweep, keyed by spec digest.
                 Loaded before the run, saved after; ignored unless some
                 cell enables ``env.artifacts``.  The snapshot is saved
-                from the *parent* process: serial runs persist
-                everything the trials computed, while sharded runs
-                persist the warm-up set (interned topologies/scenarios
-                and ``env.scheme`` key pools — the expensive pieces);
-                certificates and default-scheme pools first computed
-                inside workers stay in those workers.
+                from the parent process after worker deltas are merged
+                back, so sharded runs persist everything the process
+                tree computed — warm-up set, worker-computed
+                certificates and lazily-built key pools alike
+                (DESIGN.md §10.3; pinned by ``tests/test_artifacts.py``).
         """
         if isinstance(spec, ResolvedSweep):
             if (
@@ -1907,10 +1997,7 @@ class SweepEngine:
             # parameters — and an explicit default (env.loss_rate=0.0)
             # really does reset them.
             cells = [
-                replace(
-                    cell,
-                    env=cell.env.with_fields(resolved.env, resolved.env_fields),
-                )
+                cell.with_env(resolved.env, resolved.env_fields)
                 for cell in cells
             ]
         artifact_cells = [cell for cell in cells if cell.env.artifacts]
@@ -1923,13 +2010,24 @@ class SweepEngine:
                 )
                 ARTIFACTS.load(store_path)
             _warm_artifacts(artifact_cells)
-            values = parallel_map(
-                execute_trial,
-                cells,
-                workers=workers,
-                initializer=install_artifacts,
-                initargs=(ARTIFACTS.snapshot(),),
-            )
+            if will_shard(workers, len(cells)):
+                # Sharded: cells report their worker's cache delta so
+                # the parent cache (and therefore the on-disk snapshot
+                # and the surfaced stats) covers worker-computed
+                # artifacts too, not just the warm-up set.
+                outcomes = parallel_map(
+                    _execute_cell_with_delta,
+                    cells,
+                    workers=workers,
+                    initializer=install_artifacts,
+                    initargs=(ARTIFACTS.snapshot(),),
+                )
+                values = []
+                for value, delta in outcomes:
+                    ARTIFACTS.merge_delta(delta)
+                    values.append(value)
+            else:
+                values = parallel_map(execute_trial, cells, workers=workers)
             if store_path is not None:
                 ARTIFACTS.save(store_path)
         else:
@@ -1938,6 +2036,11 @@ class SweepEngine:
         for group in plan.groups:
             samples = values[cursor : cursor + len(group.cells)]
             cursor += len(group.cells)
+            if group.drop_value is not None:
+                samples = [s for s in samples if s != group.drop_value]
+                if not samples:  # measure undefined for every draw
+                    plan.figure.series_named(group.series)
+                    continue
             plan.figure.series_named(group.series).add(group.x, samples)
         if plan.finalize is not None:
             plan.finalize(plan.figure)
@@ -2030,6 +2133,8 @@ __all__ = [
     "execute_trial",
     "paper_scale",
     "profile_name",
+    "register_plan",
     "register_profile",
+    "register_sweep",
     "run_figure",
 ]

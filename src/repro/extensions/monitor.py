@@ -3,10 +3,19 @@
 The paper's specification is one-shot (footnote 2): "In practical
 cases, the connectivity graph might, however, evolve over time.  In
 such cases, we assume that the graph remains static long enough for
-the algorithm to execute."  This module packages that operational
-mode: a :class:`PartitionMonitor` re-runs NECTAR on each topology
-epoch, yielding a verdict stream with change detection — the pattern
-the drone fleet of Fig. 2 would deploy.
+the algorithm to execute."  :class:`PartitionMonitor` packages that
+operational mode — re-run NECTAR on each topology epoch, yield a
+verdict stream with change detection — as a thin adapter over the
+mission layer (:mod:`repro.experiments.mission`, DESIGN.md §10).
+
+The adapter preserves the legacy API and its exact behaviour (one
+``run_trial`` per observed graph, seed striding in :meth:`watch`),
+which ``tests/test_mission.py`` pins bit-identical to the mission
+engine's ``epoch_seeds="stride"`` path.  New code should prefer
+:func:`repro.experiments.mission.run_mission`: it adds ground-truth
+tracking, temporal metrics (detection latency, false-alarm rate),
+epoch sharding, environment/artifact support and the registered
+``partition-detection`` sweeps.
 """
 
 from __future__ import annotations
@@ -15,9 +24,10 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import ExperimentError
-from repro.experiments.runner import run_trial
+from repro.experiments.envspec import DEFAULT_ENVIRONMENT, EnvironmentSpec
+from repro.experiments.mission import EpochOutcome, run_epoch
 from repro.graphs.graph import Graph
-from repro.types import Decision, Verdict
+from repro.types import Verdict
 
 
 @dataclass(frozen=True)
@@ -41,13 +51,6 @@ class MonitorReport:
     mean_kb_sent: float
 
 
-def _danger_level(verdict: Verdict) -> int:
-    """0 = safe, 1 = partitionable, 2 = confirmed partition."""
-    if verdict.decision is Decision.NOT_PARTITIONABLE:
-        return 0
-    return 2 if verdict.confirmed else 1
-
-
 class PartitionMonitor:
     """Re-runs NECTAR per epoch and tracks decision transitions.
 
@@ -55,15 +58,26 @@ class PartitionMonitor:
         t: the Byzantine budget declared to every epoch's run.
         connectivity_cutoff: optional decision-phase cutoff (speeds up
             long missions; must exceed ``t``).
+        env: optional execution environment for every epoch
+            (DESIGN.md §8): channel model (``budgeted`` degradation
+            included), backend, scheme, artifact cache.  The default
+            is the paper's model and executes bit-identically to the
+            historical monitor.
     """
 
-    def __init__(self, t: int, connectivity_cutoff: int | None = None) -> None:
+    def __init__(
+        self,
+        t: int,
+        connectivity_cutoff: int | None = None,
+        env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
+    ) -> None:
         if t < 0:
             raise ExperimentError("t must be non-negative")
         self._t = t
         self._cutoff = connectivity_cutoff
+        self._env = env
         self._epoch = 0
-        self._last: Verdict | None = None
+        self._last: EpochOutcome | None = None
 
     @property
     def epochs_observed(self) -> int:
@@ -72,32 +86,29 @@ class PartitionMonitor:
 
     def observe(self, graph: Graph, seed: int = 0) -> MonitorReport:
         """Run one epoch on ``graph`` and report the transition."""
-        result = run_trial(
+        outcome = run_epoch(
             graph,
             t=self._t,
             connectivity_cutoff=self._cutoff,
             seed=seed,
-            with_ground_truth=False,
+            env=self._env,
+            epoch=self._epoch,
         )
-        # Agreement (Def. 3) lets the monitor read any single node.
-        verdict = result.verdicts[0]
         previous = self._last
         changed = previous is not None and (
-            previous.decision is not verdict.decision
-            or previous.confirmed != verdict.confirmed
+            previous.verdict.decision is not outcome.verdict.decision
+            or previous.verdict.confirmed != outcome.verdict.confirmed
         )
-        escalated = previous is not None and _danger_level(
-            verdict
-        ) > _danger_level(previous)
+        escalated = previous is not None and outcome.danger > previous.danger
         report = MonitorReport(
             epoch=self._epoch,
-            verdict=verdict,
+            verdict=outcome.verdict,
             changed=changed,
             escalated=escalated,
-            mean_kb_sent=result.mean_kb_sent(),
+            mean_kb_sent=outcome.mean_kb_sent,
         )
         self._epoch += 1
-        self._last = verdict
+        self._last = outcome
         return report
 
     def watch(self, graphs: Iterable[Graph], seed: int = 0) -> Iterator[MonitorReport]:

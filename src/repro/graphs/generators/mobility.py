@@ -13,7 +13,10 @@ module generates the evolving topologies those runs observe:
   step by step.
 
 Both yield one proximity graph per time step, ready for
-:class:`repro.extensions.monitor.PartitionMonitor`.
+:class:`repro.extensions.monitor.PartitionMonitor` and the mission
+layer (:mod:`repro.experiments.mission`, DESIGN.md §10), whose
+``drifting-scatters`` / ``waypoint`` trajectory kinds are declarative
+wrappers over these generators.
 """
 
 from __future__ import annotations

@@ -19,7 +19,11 @@ This module makes that environment axis first-class:
     random-waypoint mission (:mod:`repro.graphs.generators.mobility`):
     a message traverses an edge only while its endpoints are within
     radio reach at that round, modelling an evolving MANET substrate
-    under the paper's footnote-2 stability assumption being violated.
+    under the paper's footnote-2 stability assumption being violated;
+  - ``budgeted`` — a per-round bandwidth/latency budget on every
+    directed link: links degrade (capped deliveries per round, bounded
+    extra latency) instead of disappearing, the congestion regime of a
+    long-running mission (DESIGN.md §10).
 
 * :class:`ChannelState` — the per-run instantiation of a model (RNG
   stream, mobility trajectory).  Models are specs; states do the work.
@@ -205,6 +209,78 @@ class _MobilityState(ChannelState):
         return self._snapshot_graph.has_edge(sender, destination)
 
 
+class _BudgetedState(ChannelState):
+    """Per-round, per-sender delivery counters.
+
+    Counters reset when the round advances (both backends visit rounds
+    in nondecreasing order), so the state is a pure function of the
+    per-sender delivery history — no RNG is ever consumed, which is
+    what makes the model trivially deterministic under any
+    ``loss_seed``.
+    """
+
+    def __init__(self, bandwidth: int) -> None:
+        self._bandwidth = bandwidth
+        self._round = -1
+        self._used: dict[NodeId, int] = {}
+
+    def delivers(
+        self, round_number: int, sender: NodeId, destination: NodeId
+    ) -> bool:
+        if round_number != self._round:
+            self._round = round_number
+            self._used.clear()
+        used = self._used.get(sender, 0)
+        if used >= self._bandwidth:
+            return False
+        self._used[sender] = used + 1
+        return True
+
+
+@dataclass(frozen=True)
+class BudgetedChannel(ChannelModel):
+    """Per-round bandwidth/latency budget on every node's radio.
+
+    The other off-model regime a mission flies through: links do not
+    vanish (that is the ``mobility`` model's job) but *degrade* — the
+    radio is a shared medium, so a congested or duty-cycled node gets
+    only ``bandwidth`` deliveries per round *across all its links*
+    (excess deliveries are dropped in delivery order; the sends still
+    pay their bytes), and every delivery eats up to ``latency_ms`` of
+    the synchrony bound ΔT (observable on the asyncio backend only,
+    like ``jittered``).  A budget below a node's degree forces its
+    relays through fewer neighbors per round — detection slows down
+    instead of switching off.
+
+    ``bandwidth`` = 0 means unlimited (latency-only budgets stay a pure
+    function of ``(round, edge)`` and run on both backends); with a
+    finite budget, *which* messages exceed it depends on the global
+    delivery order, so the model is restricted to the lock-step backend.
+    """
+
+    bandwidth: int = 0
+    latency_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 0:
+            raise ChannelError(f"bandwidth {self.bandwidth} cannot be negative")
+        if self.latency_ms < 0:
+            raise ChannelError(f"latency_ms {self.latency_ms} cannot be negative")
+
+    @property
+    def jitter_ms(self) -> float:  # type: ignore[override]
+        return self.latency_ms
+
+    @property
+    def async_safe(self) -> bool:  # type: ignore[override]
+        return self.bandwidth == 0
+
+    def state(self, graph: Graph, seed: int) -> ChannelState:
+        if self.bandwidth == 0:
+            return _AlwaysDelivers()
+        return _BudgetedState(self.bandwidth)
+
+
 @dataclass(frozen=True)
 class MobilityChannel(ChannelModel):
     """Per-round link availability from a random-waypoint mission.
@@ -239,6 +315,7 @@ CHANNEL_MODELS: dict[str, Callable[..., ChannelModel]] = {
     "lossy": LossyChannel,
     "jittered": JitteredChannel,
     "mobility": MobilityChannel,
+    "budgeted": BudgetedChannel,
 }
 
 

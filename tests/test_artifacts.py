@@ -423,3 +423,95 @@ class TestEnvironmentKnobs:
             "fig3", overrides={"ns": (8,), "ks": (2,)}, artifact_store=tmp_path
         )
         assert list(tmp_path.glob("*.pkl")) == []
+
+
+# ----------------------------------------------------------------------
+# Worker deltas (DESIGN.md §9.2): drain / merge / sharded persistence
+# ----------------------------------------------------------------------
+class TestWorkerDeltas:
+    def test_drain_reports_only_new_entries(self):
+        cache = ArtifactCache()
+        cache.topology("a", lambda: "A")
+        first = cache.drain_delta()
+        assert first["topologies"] == {"a": "A"}
+        assert first["stats"]["topology_misses"] == 1
+        cache.topology("a", lambda: "A")  # hit: no new entry
+        cache.topology("b", lambda: "B")
+        second = cache.drain_delta()
+        assert second["topologies"] == {"b": "B"}
+        assert second["stats"]["topology_hits"] == 1
+        assert second["stats"]["topology_misses"] == 1
+
+    def test_adopt_starts_a_fresh_window(self):
+        parent = ArtifactCache()
+        parent.topology("warm", lambda: "W")
+        worker = ArtifactCache()
+        worker.topology("stale", lambda: "S")
+        worker.adopt(parent.snapshot())
+        worker.topology("warm", lambda: "never-built")  # hit on warm-up
+        worker.topology("fresh", lambda: "F")
+        delta = worker.drain_delta()
+        assert set(delta["topologies"]) == {"fresh"}  # not the warm-up set
+        assert delta["stats"]["topology_hits"] == 1
+        assert delta["stats"]["topology_misses"] == 1
+
+    def test_merge_unions_entries_and_adds_counters(self):
+        parent = ArtifactCache()
+        parent.topology("a", lambda: "A")
+        worker = ArtifactCache()
+        worker.adopt(parent.snapshot())
+        worker.connectivity(Graph(3, [(0, 1), (1, 2)]), None, lambda: 1)
+        delta = worker.drain_delta()
+        parent.merge_delta(delta)
+        assert parent.connectivity(
+            Graph(3, [(0, 1), (1, 2)]), None, lambda: 99
+        ) == 1  # served from the merged certificate, not recomputed
+        assert parent.stats.connectivity_misses == 1  # the worker's miss
+        assert parent.stats.connectivity_hits == 1  # the parent's hit
+
+    def test_merge_ignores_foreign_versions(self):
+        cache = ArtifactCache()
+        cache.merge_delta({"version": 999, "topologies": {"x": "X"}})
+        assert len(cache) == 0
+
+    def test_sharded_store_persists_worker_certificates(self, tmp_path):
+        """The on-disk snapshot of a sharded run must include artifacts
+        first computed inside workers (certificates, key pools), not
+        just the parent's warm-up set."""
+        overrides = {
+            "families": ("k-diamond",),
+            "n": 14,
+            "k": 4,
+            "ts": (2,),
+            "trials": 2,
+            "env.artifacts": True,
+        }
+        SWEEP_ENGINE.run(
+            "connectivity-resilience",
+            overrides=overrides,
+            workers=2,
+            artifact_store=tmp_path,
+        )
+        parent_hits = ARTIFACTS.stats.hits()
+        assert parent_hits > 0
+        # κ certificates are only computed inside trials — i.e. inside
+        # workers under sharding — so their presence in the snapshot
+        # proves the deltas were merged back.
+        snapshots = list(tmp_path.glob("artifacts-*.pkl"))
+        assert len(snapshots) == 1
+        fresh = ArtifactCache()
+        assert fresh.load(snapshots[0])
+        assert len(fresh.snapshot()["connectivity"]) > 0
+
+    def test_sharded_stats_cover_the_process_tree(self):
+        overrides = {"ns": (8, 10), "ks": (2, 4), "env.artifacts": True}
+        SWEEP_ENGINE.run("fig3", overrides=dict(overrides), workers=2)
+        sharded = ARTIFACTS.stats.counters()
+        clear_artifact_cache()
+        SWEEP_ENGINE.run("fig3", overrides=dict(overrides))
+        serial = ARTIFACTS.stats.counters()
+        # Workers reported their activity back: the sharded counters
+        # record at least every lookup the serial run performed.
+        assert sharded["topology_hits"] + sharded["topology_misses"] >= (
+            serial["topology_hits"] + serial["topology_misses"]
+        )

@@ -33,6 +33,10 @@ TINY = BenchScenario(
     figure_id="fig3",
     overrides={"ns": (8,), "ks": (2,)},
     smoke_overrides={"ns": (8,), "ks": (2,)},
+    # A millisecond-scale run's speedup ratio is pure scheduler noise;
+    # these tests exercise row digests and tamper detection, not the
+    # gate, so gating would only make them flaky.
+    gate_speedup=False,
 )
 
 

@@ -11,6 +11,7 @@ from repro.net.channel import (
     BACKENDS,
     CHANNEL_MODELS,
     RELIABLE_CHANNEL,
+    BudgetedChannel,
     JitteredChannel,
     LossyChannel,
     MobilityChannel,
@@ -204,3 +205,114 @@ def _mobility_env(channel: MobilityChannel, backend: str = "sync"):
         arena=channel.arena,
         speed=channel.speed,
     )
+
+
+class TestBudgetedChannel:
+    """The per-round bandwidth/latency budget model (DESIGN.md §10)."""
+
+    def test_registered(self):
+        assert "budgeted" in CHANNEL_MODELS
+        assert channel_model("budgeted", bandwidth=2) == BudgetedChannel(bandwidth=2)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ChannelError):
+            BudgetedChannel(bandwidth=-1)
+        with pytest.raises(ChannelError):
+            BudgetedChannel(latency_ms=-0.5)
+
+    def test_picklable_and_comparable(self):
+        import pickle
+
+        model = BudgetedChannel(bandwidth=3, latency_ms=2.0)
+        assert pickle.loads(pickle.dumps(model)) == model
+
+    def test_zero_bandwidth_is_unlimited(self):
+        graph = cycle_graph(6)
+        budgeted = SyncNetwork(
+            graph, _mtg_protocols(graph), channel=BudgetedChannel(bandwidth=0)
+        )
+        budgeted.run(4)
+        reliable = SyncNetwork(graph, _mtg_protocols(graph))
+        reliable.run(4)
+        assert budgeted.stats.bytes_received == reliable.stats.bytes_received
+        assert budgeted.stats.conservation_gap() == 0
+
+    def test_budget_caps_per_sender_deliveries(self):
+        """On a cycle (degree 2), bandwidth=1 halves what gets through."""
+        graph = cycle_graph(8)
+        capped = SyncNetwork(
+            graph, _mtg_protocols(graph), channel=BudgetedChannel(bandwidth=1)
+        )
+        capped.run(4)
+        uncapped = SyncNetwork(graph, _mtg_protocols(graph))
+        uncapped.run(4)
+        received = sum(capped.stats.bytes_received.values())
+        baseline = sum(uncapped.stats.bytes_received.values())
+        assert 0 < received < baseline
+
+    def test_budget_at_degree_drops_nothing(self):
+        graph = cycle_graph(8)
+        network = SyncNetwork(
+            graph, _mtg_protocols(graph), channel=BudgetedChannel(bandwidth=2)
+        )
+        network.run(4)
+        assert network.stats.conservation_gap() == 0
+
+    def test_deterministic_under_any_loss_seed(self):
+        """No RNG: identical runs for equal and for different seeds."""
+
+        def run(seed):
+            graph = cycle_graph(8)
+            network = SyncNetwork(
+                graph,
+                _mtg_protocols(graph),
+                channel=BudgetedChannel(bandwidth=1),
+                loss_seed=seed,
+            )
+            verdicts = network.run(6)
+            return verdicts, network.stats.bytes_received
+
+        assert run(3) == run(3)
+        assert run(3) == run(4)  # seed-independent by construction
+
+    def test_finite_budget_rejected_on_async_backend(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ProtocolError, match="not usable"):
+            AsyncCluster(
+                graph, _mtg_protocols(graph), channel=BudgetedChannel(bandwidth=1)
+            )
+
+    def test_latency_only_budget_runs_on_async(self):
+        graph = cycle_graph(5)
+        cluster = AsyncCluster(
+            graph, _mtg_protocols(graph), channel=BudgetedChannel(latency_ms=2.5)
+        )
+        assert cluster._jitter_ms == 2.5
+
+    def test_env_axes_resolve_budgeted(self):
+        from repro.experiments.envspec import EnvironmentSpec
+
+        env = EnvironmentSpec(bandwidth=2)
+        assert env.resolved_channel() == "budgeted"
+        env.validate()
+        assert env.channel_model() == BudgetedChannel(bandwidth=2)
+
+    def test_env_bandwidth_rejected_on_other_channels(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.envspec import EnvironmentSpec
+
+        env = EnvironmentSpec(channel="lossy", loss_rate=0.2, bandwidth=2)
+        with pytest.raises(ExperimentError, match="env.bandwidth only applies"):
+            env.validate()
+
+    def test_env_trial_determinism(self):
+        from repro.experiments.envspec import EnvironmentSpec
+
+        env = EnvironmentSpec(channel="budgeted", bandwidth=1)
+        graph = grid_graph(3, 3)
+
+        def run(seed):
+            result = run_trial(graph, t=1, seed=seed, env=env)
+            return result.verdicts, result.stats.bytes_received
+
+        assert run(2) == run(2)

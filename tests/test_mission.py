@@ -1,0 +1,485 @@
+"""Tests for the mission layer (DESIGN.md §10).
+
+Covers the temporal engine (verdict streams, detection metrics), the
+legacy ``PartitionMonitor`` equivalence contract, the registered
+detection scenarios (golden rows pinned serial ≡ sharded, artifact
+cache on ≡ off), the budgeted-channel mission path and the
+``repro mission`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments.artifacts import ARTIFACTS, clear_artifact_cache
+from repro.experiments.envspec import EnvironmentSpec
+from repro.experiments.mission import (
+    MISSION_FIGURES,
+    MISSION_MEASURES,
+    MissionCellSpec,
+    MissionSpec,
+    TrajectorySpec,
+    clear_mission_memo,
+    mission_graphs,
+    run_epoch,
+    run_mission,
+)
+from repro.experiments.spec import FIGURE_SPECS, SWEEP_ENGINE
+from repro.extensions.monitor import PartitionMonitor, first_escalation
+from repro.graphs.generators.classic import cycle_graph, path_graph
+from repro.graphs.generators.drone import drone_graph
+from repro.graphs.graph import Graph
+from repro.types import Decision
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Missions memoise per process; isolate every test."""
+    clear_mission_memo()
+    clear_artifact_cache()
+    yield
+    clear_mission_memo()
+    clear_artifact_cache()
+
+
+def drifting_fleet(n=12, radius=1.8, steps=(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)):
+    """The Fig. 2 mission: scatters drifting apart step by step."""
+    return [drone_graph(n, d, radius, seed=11) for d in steps]
+
+
+SCATTERS = TrajectorySpec(
+    kind="drifting-scatters", n=12, epochs=7, start=0.0, drift=1.0, radius=1.8, seed=11
+)
+
+
+class TestTrajectorySpec:
+    def test_drifting_scatters_matches_manual_sequence(self):
+        assert list(SCATTERS.build()) == drifting_fleet()
+
+    def test_waypoint_builds_one_graph_per_epoch(self):
+        trajectory = TrajectorySpec(kind="waypoint", n=6, epochs=5, seed=3)
+        graphs = trajectory.build()
+        assert len(graphs) == 5
+        assert all(graph.n == 6 for graph in graphs)
+
+    def test_waypoint_deterministic(self):
+        trajectory = TrajectorySpec(kind="waypoint", n=6, epochs=4, seed=3)
+        assert trajectory.build() == trajectory.build()
+
+    def test_explicit_wraps_graphs(self):
+        graphs = [cycle_graph(5), path_graph(5)]
+        trajectory = TrajectorySpec.explicit(graphs)
+        assert trajectory.length == 2
+        assert trajectory.build() == tuple(graphs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown trajectory kind"):
+            TrajectorySpec(kind="teleport", n=4, epochs=2).validate()
+
+    def test_empty_explicit_rejected(self):
+        with pytest.raises(ExperimentError, match="at least one graph"):
+            TrajectorySpec.explicit([])
+
+    def test_mixed_node_counts_rejected(self):
+        trajectory = TrajectorySpec(
+            kind="explicit", sequence=(cycle_graph(4), cycle_graph(5))
+        )
+        with pytest.raises(ExperimentError, match="same node set"):
+            trajectory.validate()
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ExperimentError, match="at least 2 nodes"):
+            TrajectorySpec(n=1, epochs=3).validate()
+        with pytest.raises(ExperimentError, match="at least one epoch"):
+            TrajectorySpec(n=5, epochs=0).validate()
+
+    def test_explicit_has_no_payload(self):
+        with pytest.raises(ExperimentError, match="no spec payload"):
+            TrajectorySpec.explicit([cycle_graph(4)]).payload()
+
+    def test_artifact_key_covers_every_parameter(self):
+        base = SCATTERS
+        assert base.artifact_key() == SCATTERS.artifact_key()
+        for change in (
+            {"n": 13},
+            {"epochs": 8},
+            {"drift": 0.5},
+            {"radius": 2.0},
+            {"seed": 12},
+        ):
+            import dataclasses
+
+            mutated = dataclasses.replace(base, **change)
+            assert mutated.artifact_key() != base.artifact_key()
+
+
+class TestMissionValidation:
+    def test_negative_t_rejected(self):
+        with pytest.raises(ExperimentError, match="non-negative"):
+            run_mission(MissionSpec(trajectory=SCATTERS, t=-1))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown mission protocol"):
+            run_mission(MissionSpec(trajectory=SCATTERS, protocol="carrier-pigeon"))
+
+    def test_unknown_epoch_seed_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="epoch-seed mode"):
+            run_mission(MissionSpec(trajectory=SCATTERS, epoch_seeds="random"))
+
+    def test_epoch_seed_policies(self):
+        fixed = MissionSpec(trajectory=SCATTERS, seed=7)
+        stride = MissionSpec(trajectory=SCATTERS, seed=7, epoch_seeds="stride")
+        assert [fixed.epoch_seed(e) for e in range(3)] == [7, 7, 7]
+        assert [stride.epoch_seed(e) for e in range(3)] == [7, 8, 9]
+
+
+class TestMissionEngine:
+    def test_separation_mission_detects_the_split(self):
+        result = run_mission(MissionSpec(trajectory=SCATTERS, t=2))
+        assert result.epochs == 7
+        first, last = result.reports[0], result.reports[-1]
+        assert first.verdict.decision is Decision.NOT_PARTITIONABLE
+        assert last.verdict.decision is Decision.PARTITIONABLE
+        assert last.verdict.confirmed
+        assert result.emergence_epoch is not None
+        assert result.detection_epoch is not None
+        assert result.detection_latency >= 0.0
+
+    def test_epoch_stream_matches_single_epoch_primitive(self):
+        mission = MissionSpec(trajectory=SCATTERS, t=2)
+        result = run_mission(mission)
+        for epoch, graph in enumerate(mission_graphs(mission)):
+            outcome = run_epoch(graph, t=2, seed=mission.seed, with_truth=True)
+            report = result.reports[epoch]
+            assert report.verdict == outcome.verdict
+            assert report.mean_kb_sent == outcome.mean_kb_sent
+            assert report.partitionable == outcome.partitionable
+
+    def test_run_to_run_determinism(self):
+        mission = MissionSpec(trajectory=SCATTERS, t=2)
+        assert run_mission(mission) == run_mission(mission)
+
+    def test_epoch_sharding_bit_identical(self):
+        mission = MissionSpec(trajectory=SCATTERS, t=2)
+        serial = run_mission(mission, workers=1)
+        for workers in (2, 3):
+            assert run_mission(mission, workers=workers) == serial
+
+    def test_stable_topology_never_escalates(self):
+        trajectory = TrajectorySpec.explicit([cycle_graph(6)] * 4)
+        result = run_mission(MissionSpec(trajectory=trajectory, t=1))
+        assert result.first_escalation() is None
+        assert all(not report.changed for report in result.reports)
+
+    def test_mtg_mission_detects_actual_partition_only(self):
+        # A cycle is 2-connected (t=2-partitionable truth) but MtG only
+        # reports once the graph actually splits.
+        split = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        trajectory = TrajectorySpec.explicit([cycle_graph(6), split])
+        result = run_mission(
+            MissionSpec(trajectory=trajectory, t=2, protocol="mtg")
+        )
+        assert result.emergence_epoch == 0  # κ=2 <= t from the start
+        assert result.detection_epoch == 1  # detected only at the split
+        assert result.detection_latency == 1.0
+
+    def test_detection_latency_sentinels(self):
+        # Never partitionable at t=1: a 2-connected cycle throughout.
+        safe = run_mission(
+            MissionSpec(trajectory=TrajectorySpec.explicit([cycle_graph(6)] * 3), t=1)
+        )
+        assert safe.emergence_epoch is None
+        assert safe.detection_latency == -1.0
+        # Cut emerges but MtG never sees an actual split: censored.
+        cut_unseen = run_mission(
+            MissionSpec(
+                trajectory=TrajectorySpec.explicit([cycle_graph(6)] * 3),
+                t=2,
+                protocol="mtg",
+            )
+        )
+        assert cut_unseen.emergence_epoch == 0
+        assert cut_unseen.detection_epoch is None
+        assert cut_unseen.detection_latency == 3.0  # epochs - emergence
+
+    def test_false_alarm_rate_counts_safe_epochs_only(self):
+        # Path graphs are 1-partitionable: with t=1 NECTAR flags every
+        # epoch, and every epoch is truly cut — zero false alarms.
+        result = run_mission(
+            MissionSpec(trajectory=TrajectorySpec.explicit([path_graph(5)] * 2), t=1)
+        )
+        assert result.false_alarm_rate == 0.0
+        assert all(report.partitionable for report in result.reports)
+
+    def test_metrics_require_ground_truth(self):
+        result = run_mission(MissionSpec(trajectory=SCATTERS, t=2), with_truth=False)
+        with pytest.raises(ExperimentError, match="without ground truth"):
+            _ = result.detection_latency
+        with pytest.raises(ExperimentError, match="without ground truth"):
+            _ = result.false_alarm_rate
+        assert result.mean_kb_per_epoch > 0  # cost needs no truth
+
+    def test_unknown_measure_rejected(self):
+        result = run_mission(MissionSpec(trajectory=SCATTERS, t=2))
+        with pytest.raises(ExperimentError, match="unknown mission measure"):
+            result.metric("clairvoyance")
+        for measure in MISSION_MEASURES:
+            assert isinstance(result.metric(measure), float)
+
+
+class TestMonitorEquivalence:
+    """The legacy PartitionMonitor is a thin adapter over the engine."""
+
+    def test_watch_bit_identical_to_stride_mission(self):
+        graphs = drifting_fleet()
+        monitor = PartitionMonitor(t=2)
+        legacy = list(monitor.watch(graphs, seed=0))
+        mission = MissionSpec(
+            trajectory=TrajectorySpec.explicit(graphs),
+            t=2,
+            seed=0,
+            epoch_seeds="stride",
+        )
+        engine = run_mission(mission, with_truth=False)
+        assert len(legacy) == len(engine.reports)
+        for monitor_report, engine_report in zip(legacy, engine.reports):
+            assert monitor_report.epoch == engine_report.epoch
+            assert monitor_report.verdict == engine_report.verdict
+            assert monitor_report.changed == engine_report.changed
+            assert monitor_report.escalated == engine_report.escalated
+            assert monitor_report.mean_kb_sent == engine_report.mean_kb_sent
+
+    def test_observe_bit_identical_to_run_epoch(self):
+        graph = cycle_graph(6)
+        monitor = PartitionMonitor(t=1)
+        report = monitor.observe(graph, seed=5)
+        outcome = run_epoch(graph, t=1, seed=5)
+        assert report.verdict == outcome.verdict
+        assert report.mean_kb_sent == outcome.mean_kb_sent
+
+    def test_monitor_accepts_environment(self):
+        # bandwidth=1 on a cycle (degree 2): each node reaches only one
+        # neighbor per round, so relaying visibly degrades.
+        env = EnvironmentSpec(channel="budgeted", bandwidth=1)
+        monitor = PartitionMonitor(t=1, env=env)
+        degraded = monitor.observe(cycle_graph(8))
+        baseline = PartitionMonitor(t=1).observe(cycle_graph(8))
+        assert degraded.mean_kb_sent != baseline.mean_kb_sent
+
+    def test_legacy_escalation_helper_still_works(self):
+        monitor = PartitionMonitor(t=2)
+        report = first_escalation(monitor, drifting_fleet())
+        assert report is not None and report.escalated
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ExperimentError):
+            PartitionMonitor(t=-1)
+
+
+FAST = {"trials": 2, "epochs": 5, "drifts": (1.0,)}
+
+
+class TestMissionScenarios:
+    def test_scenarios_registered(self):
+        for figure_id in MISSION_FIGURES:
+            assert figure_id in FIGURE_SPECS
+            assert FIGURE_SPECS[figure_id].seed_mode == "hashed"
+
+    def test_partition_detection_reports_detection_latency_series(self):
+        figure = SWEEP_ENGINE.run("partition-detection", overrides=FAST)
+        names = [series.name for series in figure.series]
+        assert names[0] == "detection latency (epochs)"
+        assert "false-alarm rate" in names
+        assert "KB sent per epoch" in names
+        assert all(series.points for series in figure.series)
+
+    def test_partition_detection_serial_equals_sharded(self):
+        serial = SWEEP_ENGINE.run("partition-detection", overrides=FAST)
+        clear_mission_memo()
+        sharded = SWEEP_ENGINE.run(
+            "partition-detection", overrides=FAST, workers=4
+        )
+        assert sharded.rows() == serial.rows()
+
+    def test_partition_detection_artifacts_on_off_serial_sharded(self):
+        """The acceptance grid: rows bit-identical across all 4 modes."""
+        baseline = SWEEP_ENGINE.run("partition-detection", overrides=FAST).rows()
+        for workers in (1, 4):
+            clear_mission_memo()
+            clear_artifact_cache()
+            figure = SWEEP_ENGINE.run(
+                "partition-detection",
+                overrides={**FAST, "env.artifacts": True},
+                workers=workers,
+            )
+            assert figure.rows() == baseline
+            assert ARTIFACTS.stats.hits() > 0  # the cache really worked
+
+    def test_mission_rows_sweepable_over_env_axes(self):
+        default = SWEEP_ENGINE.run("partition-detection", overrides=FAST)
+        clear_mission_memo()
+        degraded = SWEEP_ENGINE.run(
+            "partition-detection",
+            overrides={**FAST, "env.channel": "budgeted", "env.bandwidth": 2},
+        )
+        kb = {s.name: s.points[0].mean for s in default.series}
+        kb_degraded = {s.name: s.points[0].mean for s in degraded.series}
+        assert kb_degraded["KB sent per epoch"] < kb["KB sent per epoch"]
+
+    def test_mtg_vs_nectar_scenario_shape(self):
+        figure = SWEEP_ENGINE.run("mtg-vs-nectar-detection", overrides=FAST)
+        names = [series.name for series in figure.series]
+        assert names == ["Nectar (ours)", "MtG"]
+        by_name = {s.name: s.points[0].mean for s in figure.series}
+        # NECTAR escalates on partitionability, MtG only on the split.
+        assert by_name["Nectar (ours)"] <= by_name["MtG"]
+
+    def test_no_cut_sentinel_never_pollutes_latency_rows(self):
+        """At threshold drifts, cut emergence is seed-dependent; the
+        undefined latencies (NO_CUT_SENTINEL) must be excluded from the
+        mean, not averaged in as -1, and the cut-emergence series must
+        record how many missions had a cut."""
+        figure = SWEEP_ENGINE.run(
+            "partition-detection",
+            overrides={"trials": 8, "epochs": 7, "drifts": (0.35,)},
+        )
+        by_name = {series.name: series for series in figure.series}
+        latency = by_name["detection latency (epochs)"].points[0]
+        emergence = by_name["cut-emergence rate"].points[0]
+        assert 0.0 < emergence.mean < 1.0  # the threshold regime
+        assert emergence.trials == 8
+        assert latency.trials == round(emergence.mean * 8)  # defined draws only
+        assert latency.mean >= 0.0  # the sentinel never reaches the mean
+
+    def test_all_sentinel_group_omits_the_point(self):
+        """No cut at any seed (drift 0): the latency series stays
+        empty instead of publishing a -1 row."""
+        figure = SWEEP_ENGINE.run(
+            "partition-detection",
+            overrides={"trials": 2, "epochs": 3, "drifts": (0.0,), "start": 0.0},
+        )
+        by_name = {series.name: series for series in figure.series}
+        assert by_name["cut-emergence rate"].points[0].mean == 0.0
+        assert by_name["detection latency (epochs)"].points == []
+
+    def test_mtg_vs_nectar_serial_equals_sharded(self):
+        serial = SWEEP_ENGINE.run("mtg-vs-nectar-detection", overrides=FAST)
+        clear_mission_memo()
+        sharded = SWEEP_ENGINE.run(
+            "mtg-vs-nectar-detection", overrides=FAST, workers=3
+        )
+        assert sharded.rows() == serial.rows()
+
+
+class TestMissionCells:
+    def test_with_env_applies_named_fields_only(self):
+        cell = MissionCellSpec(mission=MissionSpec(trajectory=SCATTERS, t=2))
+        override = EnvironmentSpec(backend="async", loss_rate=0.4)
+        updated = cell.with_env(override, ("backend",))
+        assert updated.mission.env.backend == "async"
+        assert updated.mission.env.loss_rate == 0.0
+        assert cell.with_env(override, ()) is cell
+
+    def test_warm_artifacts_interns_trajectory_and_key_pool(self):
+        cell = MissionCellSpec(
+            mission=MissionSpec(
+                trajectory=SCATTERS,
+                t=2,
+                env=EnvironmentSpec(artifacts=True, scheme="hmac"),
+            )
+        )
+        cell.warm_artifacts()
+        assert ARTIFACTS.stats.topology_misses == 1
+        assert ARTIFACTS.stats.key_pool_misses == 1
+        cell.warm_artifacts()  # second warm-up is all hits
+        assert ARTIFACTS.stats.topology_hits == 1
+        assert ARTIFACTS.stats.key_pool_hits == 1
+
+    def test_cell_execute_returns_the_metric(self):
+        mission = MissionSpec(trajectory=SCATTERS, t=2)
+        cell = MissionCellSpec(mission=mission, measure="kb-per-epoch")
+        assert cell.execute() == run_mission(mission).mean_kb_per_epoch
+
+
+class TestMissionCli:
+    def test_mission_list(self, capsys):
+        assert main(["mission", "--list"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in MISSION_FIGURES:
+            assert figure_id in out
+
+    def test_mission_requires_a_name(self, capsys):
+        assert main(["mission"]) == 2
+        assert "pass a mission scenario id" in capsys.readouterr().out
+
+    def test_mission_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "mission.json"
+        csv = tmp_path / "mission.csv"
+        code = main(
+            [
+                "mission",
+                "partition-detection",
+                "--set",
+                "trials=2",
+                "--set",
+                "epochs=4",
+                "--set",
+                "drifts=1.0",
+                "--timeline",
+                "--out",
+                str(out),
+                "--csv",
+                str(csv),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "detection latency (epochs)" in stdout
+        assert "timeline:" in stdout
+        assert "emergence=" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["figure_id"] == "partition-detection"
+        assert "detection latency (epochs)" in csv.read_text()
+
+    def test_mission_artifacts_metadata_embedded(self, tmp_path, capsys):
+        out = tmp_path / "mission.json"
+        code = main(
+            [
+                "mission",
+                "partition-detection",
+                "--set",
+                "trials=2",
+                "--set",
+                "epochs=4",
+                "--set",
+                "drifts=1.0",
+                "--set",
+                "env.artifacts=true",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "cache :" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        stats = payload["metadata"]["artifact_stats"]
+        assert stats["topology"]["hits"] + stats["topology"]["misses"] > 0
+
+    def test_sweep_subcommand_also_runs_missions(self, capsys):
+        """Acceptance: repro sweep partition-detection works as-is."""
+        code = main(
+            [
+                "sweep",
+                "partition-detection",
+                "--set",
+                "trials=2",
+                "--set",
+                "epochs=4",
+                "--set",
+                "drifts=1.0",
+            ]
+        )
+        assert code == 0
+        assert "detection latency" in capsys.readouterr().out

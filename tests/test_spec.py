@@ -117,7 +117,10 @@ class TestRegistry:
             "fig7",
             "fig8",
             "mobility-resilience",
+            # the temporal mission scenarios (DESIGN.md §10):
+            "mtg-vs-nectar-detection",
             "nectar-under-loss",
+            "partition-detection",
             "topology-comparison",
         ]
 
