@@ -1,18 +1,29 @@
-"""Byzantine behaviours and placement strategies."""
+"""Byzantine behaviours, placement strategies and mission campaigns."""
 
 from repro.adversary.behaviors import (
+    BadAggregatorNectarNode,
+    CollusionTracker,
     EdgeConcealingNectarNode,
+    EquivocatingNectarNode,
     FictitiousEdgeNectarNode,
     ForgingNectarNode,
     JunkInjectorNode,
     OverChainedNectarNode,
     SaturatingMtgNode,
     SilentNode,
+    SleeperNectarNode,
     SpamNectarNode,
     StaleChainNectarNode,
     TwoFacedMtgNode,
     TwoFacedMtgv2Node,
     TwoFacedNectarNode,
+)
+from repro.adversary.campaign import (
+    ADVERSARY_PROFILES,
+    PLACEMENT_POLICIES,
+    AdversarySpec,
+    campaign_factories,
+    plan_placements,
 )
 from repro.adversary.placement import (
     balanced_placement,
@@ -21,19 +32,28 @@ from repro.adversary.placement import (
 )
 
 __all__ = [
+    "ADVERSARY_PROFILES",
+    "AdversarySpec",
+    "BadAggregatorNectarNode",
+    "CollusionTracker",
     "EdgeConcealingNectarNode",
+    "EquivocatingNectarNode",
     "FictitiousEdgeNectarNode",
     "ForgingNectarNode",
     "JunkInjectorNode",
     "OverChainedNectarNode",
+    "PLACEMENT_POLICIES",
     "SaturatingMtgNode",
     "SilentNode",
+    "SleeperNectarNode",
     "SpamNectarNode",
     "StaleChainNectarNode",
     "TwoFacedMtgNode",
     "TwoFacedMtgv2Node",
     "TwoFacedNectarNode",
     "balanced_placement",
+    "campaign_factories",
+    "plan_placements",
     "random_placement",
     "vertex_cut_placement",
 ]

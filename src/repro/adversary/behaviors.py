@@ -30,6 +30,19 @@ Paper-relevant behaviours:
   inflate traffic (defeated by receiver-side dedup; measured by the
   dedup ablation).
 * :class:`JunkInjectorNode` — ships unparseable garbage.
+
+Campaign behaviours (the ``repro mission`` adversary profiles, see
+:mod:`repro.adversary.campaign`):
+
+* :class:`SleeperNectarNode` — runs the honest protocol to the letter
+  while still counting against the budget t; the correct-acting shape
+  behind the Definition-3 Validity counterexample.
+* :class:`EquivocatingNectarNode` — tells each half of the correct
+  nodes a different story, coordinated across the coalition through a
+  shared :class:`CollusionTracker`.
+* :class:`BadAggregatorNectarNode` — relays faithfully except that
+  announcements involving a victim set silently vanish, eroding the
+  perceived connectivity from a trusted-looking relay position.
 """
 
 from __future__ import annotations
@@ -275,6 +288,146 @@ class SpamNectarNode(NectarNode):
         return [
             out for out in outgoing if self._keep_outgoing(out, round_number)
         ]
+
+
+class SleeperNectarNode(NectarNode):
+    """A Byzantine node that behaves perfectly correctly.
+
+    Allowed by the model ("may deviate arbitrarily" includes not
+    deviating at all) and the worst case for attribution: it consumes
+    one unit of the budget t while producing zero observable
+    misbehaviour.  Combined with a silent colluder this is exactly the
+    path-graph shape that used to break Validity — the correct nodes
+    cannot tell whether the missing processes are a genuine cut or a
+    sleeper cell that stayed quiet (see
+    tests/test_known_regressions.py).
+    """
+
+
+class CollusionTracker:
+    """Shared coordination state for an equivocating coalition.
+
+    The coalition splits the correct nodes into two deterministic
+    halves; every :class:`EquivocatingNectarNode` holding the same
+    tracker shows the *same* face to the same destination, so the two
+    halves each receive an internally consistent — but mutually
+    contradictory — view.  Uncoordinated equivocation is easy to spot
+    (stories disagree within a half); the tracker is what makes the
+    attack coherent.
+
+    The tracker also records every shaping decision, so tests can
+    assert coalition-wide consistency after a run.
+    """
+
+    def __init__(self, correct: Iterable[NodeId], seed: int = 0) -> None:
+        ordered = sorted(set(correct))
+        rng = random.Random(("collusion", tuple(ordered), seed).__repr__())
+        shuffled = list(ordered)
+        rng.shuffle(shuffled)
+        half = (len(shuffled) + 1) // 2
+        self._halves: tuple[frozenset[NodeId], frozenset[NodeId]] = (
+            frozenset(shuffled[:half]),
+            frozenset(shuffled[half:]),
+        )
+        self._events: list[tuple[NodeId, NodeId, int]] = []
+
+    @property
+    def halves(self) -> tuple[frozenset[NodeId], frozenset[NodeId]]:
+        """The (favored, starved) split of the correct nodes."""
+        return self._halves
+
+    def face_of(self, destination: NodeId) -> int:
+        """0 = full view (favored half), 1 = censored view (starved)."""
+        return 1 if destination in self._halves[1] else 0
+
+    def record(self, byzantine: NodeId, destination: NodeId) -> None:
+        """Log one shaping decision (sender, destination, face shown)."""
+        self._events.append((byzantine, destination, self.face_of(destination)))
+
+    @property
+    def events(self) -> tuple[tuple[NodeId, NodeId, int], ...]:
+        return tuple(self._events)
+
+    def consistent(self) -> bool:
+        """True iff every destination was only ever shown one face."""
+        faces: dict[NodeId, int] = {}
+        return all(
+            faces.setdefault(destination, face) == face
+            for _, destination, face in self._events
+        )
+
+
+class EquivocatingNectarNode(NectarNode):
+    """Equivocates between the two halves of the correct nodes.
+
+    Toward the favored half it acts fully correctly; toward the
+    starved half it strips every announcement involving itself, so
+    that half perceives the node (and everything only reachable
+    through it) as missing.  All coalition members sharing one
+    :class:`CollusionTracker` starve the *same* half, which is what
+    lets the lie survive cross-checking inside each half.
+    """
+
+    def __init__(self, *args, tracker: CollusionTracker, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._tracker = tracker
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        shaped: list[Outgoing] = []
+        for out in super().begin_round(round_number):
+            if not isinstance(out.payload, NectarBatch):
+                shaped.append(out)
+                continue
+            self._tracker.record(self.node_id, out.destination)
+            if self._tracker.face_of(out.destination) == 0:
+                shaped.append(out)
+                continue
+            kept = tuple(
+                announcement
+                for announcement in out.payload.announcements
+                if self.node_id not in announcement.proof.endpoints()
+            )
+            if kept:
+                shaped.append(
+                    Outgoing(destination=out.destination, payload=NectarBatch(kept))
+                )
+        return shaped
+
+
+class BadAggregatorNectarNode(NectarNode):
+    """Censors relayed announcements involving a victim set.
+
+    Round 1 is honest (its own edges are announced, keeping the node
+    above suspicion); from round 2 on, any announcement whose edge
+    touches a victim is silently dropped from its relays.  Where the
+    node sits on many shortest paths this starves the rest of the
+    network of the victims' edges — the aggregator-corruption shape,
+    translated to NECTAR's relay role.
+    """
+
+    def __init__(self, *args, victims: Iterable[NodeId] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._victims = frozenset(victims)
+
+    def begin_round(self, round_number: int) -> list[Outgoing]:
+        outgoing = super().begin_round(round_number)
+        if round_number == 1:
+            return outgoing
+        shaped: list[Outgoing] = []
+        for out in outgoing:
+            if not isinstance(out.payload, NectarBatch):
+                shaped.append(out)
+                continue
+            kept = tuple(
+                announcement
+                for announcement in out.payload.announcements
+                if not (announcement.proof.endpoints() & self._victims)
+            )
+            if kept:
+                shaped.append(
+                    Outgoing(destination=out.destination, payload=NectarBatch(kept))
+                )
+        return shaped
 
 
 # ----------------------------------------------------------------------

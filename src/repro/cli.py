@@ -616,6 +616,12 @@ def _print_timeline(resolved: ResolvedSweep) -> None:
         f"{result.epochs} epochs "
         f"(trajectory: {mission.trajectory.kind}, n={mission.trajectory.n})"
     )
+    adversary = getattr(mission, "adversary", None)
+    if adversary is not None:
+        print(
+            f"  adversary: {adversary.count}x {adversary.profile} "
+            f"({adversary.placement} placement, seed={adversary.seed})"
+        )
     for report in result.reports:
         verdict = report.verdict
         decision = getattr(verdict, "decision", verdict)

@@ -7,7 +7,19 @@ discovered graph G_i:
 * ``k`` — the vertex connectivity (``VertexConnectivity``);
 
 and decides NOT_PARTITIONABLE iff ``k > t and r = n``, otherwise
-PARTITIONABLE with ``confirmed = (r != n)``.
+PARTITIONABLE with ``confirmed = (n - r > t)``.
+
+The confirmation predicate is where Validity (Def. 3 / Theorem 2)
+lives: ``confirmed = True`` at a correct node promises that the
+Byzantine set really is a vertex cut.  When only ``n - r <= t``
+processes are missing, *all* of them may be Byzantine processes that
+simply never announced anything (silent, or correct-acting but cut
+off by a silent colluder) — indistinguishable from a genuine
+partition, so the node must not claim confirmed evidence.  Once
+``n - r > t`` at least one missing process is correct, and since
+correct processes relay faithfully for all n - 1 rounds, every path
+to it must cross a Byzantine process: the Byzantine set genuinely
+cuts the graph.
 
 Because Lemma 2 guarantees all correct nodes end with the *same*
 discovered graph whenever their subgraph is connected, the (costly)
@@ -73,11 +85,16 @@ def decide(
     r = len(reachable)
     n = discovered.n
     if r != n:
-        # Some process is unreachable in G_i: the node has *confirmed*
-        # evidence of a partition (ll. 22-24).
+        # Some process is unreachable in G_i (ll. 22-24).  Confirmed
+        # evidence of a partition exists only when the missing set
+        # cannot consist entirely of Byzantine processes: with
+        # n - r <= t every unreachable process may simply have stayed
+        # silent, so claiming a confirmed cut would violate Validity
+        # (Theorem 2; see the module docstring and the path-graph
+        # counterexample pinned in tests/test_known_regressions.py).
         return Verdict(
             decision=Decision.PARTITIONABLE,
-            confirmed=True,
+            confirmed=n - r > t,
             reachable=r,
             connectivity=None,
         )

@@ -11,7 +11,7 @@ layer above: a process-wide, content-addressed memo for artifacts whose
 value is a pure function of their key, shared by every trial of a sweep
 (and, through the optional on-disk layer, across sweeps).
 
-Three stores:
+Four stores:
 
 * **topologies** — constructed :class:`~repro.graphs.graph.Graph`
   objects *and* attack-scenario deployments, keyed by the digest of the
@@ -29,6 +29,12 @@ Three stores:
   per seed, so RSA/HMAC key material is generated once per sweep rather
   than once per trial; with ``env.scheme=rsa-512`` keygen dominates a
   trial and pooling is worth >2× wall time (``repro bench rsa-keygen``).
+* **deployments** — full :class:`~repro.experiments.runner.Deployment`
+  records (keys *and* per-edge neighborhood proofs) keyed by ``(graph
+  digest, scheme fingerprint, seed)``.  A sweep that replays the same
+  topology across its measure series — every mission scenario does —
+  signs each edge's proof once per process instead of once per cell;
+  the key-pool store alone only amortised keygen, not the proofs.
 
 Correctness: every store memoises a *pure* builder, so a warm cache is
 bit-identical to a cold one — sweep rows, verdicts and traffic stats do
@@ -68,8 +74,9 @@ from repro.graphs.graph import Graph
 _Artifact = TypeVar("_Artifact")
 
 #: current on-disk snapshot format; bumped on layout changes so stale
-#: pickles are ignored rather than misread.
-_SNAPSHOT_VERSION = 1
+#: pickles are ignored rather than misread.  v2 added the deployment
+#: store.
+_SNAPSHOT_VERSION = 2
 
 
 def artifact_key(payload: dict) -> str:
@@ -99,13 +106,26 @@ class ArtifactStats:
     #: key-store requests bypassed because the scheme had no
     #: fingerprint (unknown scheme types are never pooled).
     key_pool_bypasses: int = 0
+    deployment_hits: int = 0
+    deployment_misses: int = 0
+    #: deployment requests bypassed because the scheme had no
+    #: fingerprint (mirrors the key-pool bypass rule).
+    deployment_bypasses: int = 0
 
     def hits(self) -> int:
-        return self.topology_hits + self.connectivity_hits + self.key_pool_hits
+        return (
+            self.topology_hits
+            + self.connectivity_hits
+            + self.key_pool_hits
+            + self.deployment_hits
+        )
 
     def misses(self) -> int:
         return (
-            self.topology_misses + self.connectivity_misses + self.key_pool_misses
+            self.topology_misses
+            + self.connectivity_misses
+            + self.key_pool_misses
+            + self.deployment_misses
         )
 
     def total(self) -> int:
@@ -129,6 +149,11 @@ class ArtifactStats:
                 "misses": self.key_pool_misses,
                 "bypasses": self.key_pool_bypasses,
             },
+            "deployment": {
+                "hits": self.deployment_hits,
+                "misses": self.deployment_misses,
+                "bypasses": self.deployment_bypasses,
+            },
             "hit_rate": self.hit_rate(),
         }
 
@@ -148,7 +173,9 @@ class ArtifactStats:
             f"certificates {self.connectivity_hits}/"
             f"{self.connectivity_hits + self.connectivity_misses}, "
             f"key pools {self.key_pool_hits}/"
-            f"{self.key_pool_hits + self.key_pool_misses})"
+            f"{self.key_pool_hits + self.key_pool_misses}, "
+            f"deployments {self.deployment_hits}/"
+            f"{self.deployment_hits + self.deployment_misses})"
         )
 
 
@@ -167,6 +194,7 @@ class ArtifactCache:
         self._topologies: dict[str, object] = {}
         self._connectivity: dict[tuple[str, int | None], int] = {}
         self._key_pools: dict[tuple, KeyStore] = {}
+        self._deployments: dict[tuple, object] = {}
         self._reset_delta()
 
     def _reset_delta(self) -> None:
@@ -174,13 +202,19 @@ class ArtifactCache:
         self._delta_topologies: dict[str, object] = {}
         self._delta_connectivity: dict[tuple[str, int | None], int] = {}
         self._delta_key_pools: dict[tuple, KeyStore] = {}
+        self._delta_deployments: dict[tuple, object] = {}
         self._stats_mark = self.stats.counters()
 
     def __len__(self) -> int:
-        return len(self._topologies) + len(self._connectivity) + len(self._key_pools)
+        return (
+            len(self._topologies)
+            + len(self._connectivity)
+            + len(self._key_pools)
+            + len(self._deployments)
+        )
 
     # ------------------------------------------------------------------
-    # The three stores
+    # The four stores
     # ------------------------------------------------------------------
     def topology(self, key: str, build: Callable[[], _Artifact]) -> _Artifact:
         """The interned topology (or scenario) for ``key``.
@@ -248,6 +282,38 @@ class ArtifactCache:
         self._delta_key_pools[key] = store
         return store
 
+    def deployment(
+        self,
+        graph: Graph,
+        scheme: SignatureScheme,
+        seed: int,
+        build: Callable[[], _Artifact],
+    ) -> _Artifact:
+        """The interned deployment for ``(graph, scheme, seed)``.
+
+        Deployment construction is a pure function of the key (keygen
+        and proof signing are seed-deterministic), so the cells of a
+        sweep that replay one topology share keys *and* signed
+        neighborhood proofs.  Schemes without a fingerprint are never
+        pooled — the builder's fresh deployment is returned as-is
+        (mirrors :meth:`key_store`).  Callers must treat the result as
+        immutable, like every store entry.
+        """
+        fingerprint = scheme_fingerprint(scheme)
+        if fingerprint is None:
+            self.stats.deployment_bypasses += 1
+            return build()
+        key = (graph.digest(), fingerprint, seed)
+        cached = self._deployments.get(key)
+        if cached is not None:
+            self.stats.deployment_hits += 1
+            return cached  # type: ignore[return-value]
+        self.stats.deployment_misses += 1
+        value = build()
+        self._deployments[key] = value
+        self._delta_deployments[key] = value
+        return value
+
     # ------------------------------------------------------------------
     # Sharing and persistence
     # ------------------------------------------------------------------
@@ -258,6 +324,7 @@ class ArtifactCache:
             "topologies": self._topologies,
             "connectivity": self._connectivity,
             "key_pools": self._key_pools,
+            "deployments": self._deployments,
         }
 
     def adopt(self, snapshot: dict) -> None:
@@ -275,6 +342,7 @@ class ArtifactCache:
         self._topologies = dict(snapshot["topologies"])
         self._connectivity = dict(snapshot["connectivity"])
         self._key_pools = dict(snapshot["key_pools"])
+        self._deployments = dict(snapshot.get("deployments", {}))
         self._reset_delta()
 
     def drain_delta(self) -> dict:
@@ -295,6 +363,7 @@ class ArtifactCache:
             "topologies": self._delta_topologies,
             "connectivity": self._delta_connectivity,
             "key_pools": self._delta_key_pools,
+            "deployments": self._delta_deployments,
             "stats": {
                 name: counts[name] - self._stats_mark.get(name, 0)
                 for name in counts
@@ -317,6 +386,7 @@ class ArtifactCache:
             (delta.get("topologies"), self._topologies),
             (delta.get("connectivity"), self._connectivity),
             (delta.get("key_pools"), self._key_pools),
+            (delta.get("deployments"), self._deployments),
         ):
             for key, value in (entries or {}).items():
                 target.setdefault(key, value)
@@ -331,6 +401,7 @@ class ArtifactCache:
         self._topologies.clear()
         self._connectivity.clear()
         self._key_pools.clear()
+        self._deployments.clear()
         self._reset_delta()
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:

@@ -50,8 +50,13 @@ bit-identical for any worker count, with the artifact cache on or off.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.adversary.campaign import (
+    AdversarySpec,
+    campaign_factories,
+    plan_placements,
+)
 from repro.baselines.mtg import mtg_epoch_count
 from repro.baselines.mtgv2 import mtgv2_epoch_count
 from repro.crypto import resolve_scheme
@@ -103,6 +108,7 @@ MISSION_MEASURES = (
     "cut-emergence",
     "false-alarm-rate",
     "kb-per-epoch",
+    "adversary-cut-rate",
 )
 
 #: the scalar :attr:`MissionResult.detection_latency` returns when no
@@ -270,6 +276,11 @@ class MissionSpec:
             one — which is exactly the ``mtg-vs-nectar-detection``
             comparison.
         env: the execution environment of every epoch (DESIGN.md §8-9).
+        adversary: optional adversarial campaign
+            (:class:`~repro.adversary.campaign.AdversarySpec`): live
+            Byzantine coalitions inside the mission loop, with
+            per-epoch placement.  NECTAR only — the baselines have no
+            Byzantine model to host one.
     """
 
     trajectory: TrajectorySpec
@@ -279,6 +290,7 @@ class MissionSpec:
     epoch_seeds: str = "fixed"
     protocol: str = "nectar"
     env: EnvironmentSpec = DEFAULT_ENVIRONMENT
+    adversary: AdversarySpec | None = None
 
     def validate(self) -> None:
         """Check the mission against registries and model constraints."""
@@ -295,6 +307,13 @@ class MissionSpec:
                 f"unknown mission protocol {self.protocol!r}; "
                 f"known: {list(MISSION_PROTOCOLS)}"
             )
+        if self.adversary is not None:
+            if self.protocol != "nectar":
+                raise ExperimentError(
+                    "adversarial campaigns target nectar missions; "
+                    f"got protocol {self.protocol!r}"
+                )
+            self.adversary.validate(self.t)
         self.env.validate()
 
     def epoch_seed(self, epoch: int) -> int:
@@ -334,6 +353,10 @@ class EpochOutcome:
     #: ground truth: was the epoch's topology t-partitionable?  None
     #: when the engine ran without ground truth.
     partitionable: bool | None
+    #: ground truth: did the epoch's *actual* Byzantine placement cut
+    #: the correct subgraph?  None without ground truth; False in
+    #: adversary-free epochs unless the topology itself is split.
+    correct_cut: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -353,6 +376,7 @@ class EpochReport:
     mean_kb_sent: float
     rounds_executed: int | None
     partitionable: bool | None
+    correct_cut: bool | None = None
 
 
 def run_epoch(
@@ -364,21 +388,32 @@ def run_epoch(
     env: EnvironmentSpec = DEFAULT_ENVIRONMENT,
     epoch: int = 0,
     with_truth: bool = False,
+    byzantine_factories: Mapping[int, Any] | None = None,
 ) -> EpochOutcome:
     """Run one mission epoch on ``graph`` and report the raw outcome.
 
     The single-epoch primitive shared by :func:`run_mission` and the
     legacy :class:`~repro.extensions.monitor.PartitionMonitor` adapter:
-    one adversary-free trial through the modern
+    one trial through the modern
     :func:`~repro.experiments.runner.run_trial` pipeline, read through
-    node 0 (Agreement, Def. 3, lets NECTAR read any single node; the
-    baselines have no agreement property, so node 0's view *is* the
-    continuous-detector vantage point being compared).
+    the smallest *correct* node (Agreement, Def. 3, lets NECTAR read
+    any single correct node; the baselines have no agreement property,
+    so node 0's view *is* the continuous-detector vantage point being
+    compared).  ``byzantine_factories`` hosts an epoch's adversarial
+    coalition (NECTAR only): the verdict then comes from the smallest
+    node *outside* the coalition, and the ground truth accounts for
+    the actual placement.
     """
+    byzantine = frozenset(byzantine_factories or {})
+    if byzantine and protocol != "nectar":
+        raise ExperimentError(
+            f"Byzantine epochs target nectar, got protocol {protocol!r}"
+        )
     if protocol == "nectar":
         result = run_trial(
             graph,
             t=t,
+            byzantine_factories=byzantine_factories,
             connectivity_cutoff=connectivity_cutoff,
             seed=seed,
             with_ground_truth=False,
@@ -406,17 +441,22 @@ def run_epoch(
             f"unknown mission protocol {protocol!r}; "
             f"known: {list(MISSION_PROTOCOLS)}"
         )
-    verdict = result.verdicts[0]
+    correct_nodes = [v for v in graph.nodes() if v not in byzantine]
+    if not correct_nodes:
+        raise ExperimentError("an epoch needs at least one correct node")
+    verdict = result.verdicts[min(correct_nodes)]
     partitionable: bool | None = None
+    correct_cut: bool | None = None
     if with_truth:
         truth = compute_ground_truth(
             graph,
             t,
-            frozenset(),
+            byzantine,
             connectivity_cutoff=t + 1,
             artifacts=env.artifacts,
         )
         partitionable = truth.byzantine_partitionable
+        correct_cut = truth.correct_subgraph_partitioned
     return EpochOutcome(
         epoch=epoch,
         verdict=verdict,
@@ -424,22 +464,37 @@ def run_epoch(
         mean_kb_sent=result.mean_kb_sent(),
         rounds_executed=result.rounds_executed,
         partitionable=partitionable,
+        correct_cut=correct_cut,
     )
 
 
 @dataclass(frozen=True)
 class _EpochTask:
-    """One epoch's work unit for the sharded engine (picklable)."""
+    """One epoch's work unit for the sharded engine (picklable).
+
+    ``byzantine`` is this epoch's coalition, decided by the sequential
+    placement pre-pass; the worker rebuilds the actual factories from
+    it (closures do not cross process boundaries).
+    """
 
     mission: MissionSpec
     epoch: int
     graph: Graph
     with_truth: bool
+    byzantine: frozenset[int] = frozenset()
 
 
 def _execute_epoch(task: _EpochTask) -> EpochOutcome:
     """Module-level epoch executor (what ``parallel_map`` ships)."""
     mission = task.mission
+    factories = None
+    if task.byzantine and mission.adversary is not None:
+        factories = campaign_factories(
+            mission.adversary.profile,
+            task.byzantine,
+            task.graph.n,
+            seed=mission.adversary.seed,
+        )
     return run_epoch(
         task.graph,
         t=mission.t,
@@ -449,6 +504,7 @@ def _execute_epoch(task: _EpochTask) -> EpochOutcome:
         env=mission.env,
         epoch=task.epoch,
         with_truth=task.with_truth,
+        byzantine_factories=factories,
     )
 
 
@@ -543,6 +599,20 @@ class MissionResult:
             return 0.0
         return sum(r.mean_kb_sent for r in self.reports) / len(self.reports)
 
+    @property
+    def adversary_cut_rate(self) -> float:
+        """Fraction of epochs where the live coalition cut the correct
+        subgraph — how often the campaign's placement actually landed
+        on a kill position (0.0 for adversary-free missions on
+        connected topologies)."""
+        known = [r for r in self.reports if r.correct_cut is not None]
+        if not known:
+            raise ExperimentError(
+                "this mission ran without ground truth; re-run with "
+                "with_truth=True for temporal metrics"
+            )
+        return sum(1 for r in known if r.correct_cut) / len(known)
+
     def metric(self, measure: str) -> float:
         """One registered temporal measure as a sweep scalar."""
         if measure == "detection-latency":
@@ -553,6 +623,8 @@ class MissionResult:
             return self.false_alarm_rate
         if measure == "kb-per-epoch":
             return self.mean_kb_per_epoch
+        if measure == "adversary-cut-rate":
+            return self.adversary_cut_rate
         raise ExperimentError(
             f"unknown mission measure {measure!r}; "
             f"known: {list(MISSION_MEASURES)}"
@@ -585,6 +657,7 @@ def _derive_reports(outcomes: Sequence[EpochOutcome]) -> tuple[EpochReport, ...]
                 mean_kb_sent=outcome.mean_kb_sent,
                 rounds_executed=outcome.rounds_executed,
                 partitionable=outcome.partitionable,
+                correct_cut=outcome.correct_cut,
             )
         )
         previous = outcome
@@ -614,8 +687,22 @@ def run_mission(
     """
     mission.validate()
     graphs = mission_graphs(mission)
+    if mission.adversary is not None:
+        # Sequential pre-pass: the adaptive policy reads epoch e-1's
+        # topology, so placements are fixed before any epoch executes
+        # and the epoch tasks stay independent (bit-identical rows for
+        # any worker count).
+        placements = plan_placements(graphs, mission.adversary)
+    else:
+        placements = [frozenset()] * len(graphs)
     tasks = [
-        _EpochTask(mission=mission, epoch=epoch, graph=graph, with_truth=with_truth)
+        _EpochTask(
+            mission=mission,
+            epoch=epoch,
+            graph=graph,
+            with_truth=with_truth,
+            byzantine=placements[epoch],
+        )
         for epoch, graph in enumerate(graphs)
     ]
     outcomes = parallel_map(_execute_epoch, tasks, workers=workers)
@@ -720,7 +807,11 @@ class MissionCellSpec:
 
 
 #: figure ids registered by this module (what ``repro mission`` lists).
-MISSION_FIGURES = ("partition-detection", "mtg-vs-nectar-detection")
+MISSION_FIGURES = (
+    "partition-detection",
+    "mtg-vs-nectar-detection",
+    "detection-under-deception",
+)
 
 #: display names of the temporal measure series, in row order.
 _MEASURE_SERIES = (
@@ -730,25 +821,69 @@ _MEASURE_SERIES = (
     ("kb-per-epoch", "KB sent per epoch"),
 )
 
+#: trajectory kinds the mission sweeps accept through the
+#: ``trajectory`` axis ("explicit" has no declarative description).
+_SWEEPABLE_TRAJECTORIES = ("drifting-scatters", "waypoint")
+
+
+def _mission_xs(params: dict) -> tuple[tuple, str]:
+    """The x values (and axis label) of a mission sweep.
+
+    The drifting-scatters storyline sweeps barycenter drift; the
+    waypoint missions sweep node speed (their ``reach``/``arena`` are
+    fixed per figure) — both answer "how fast does the fleet evolve".
+    """
+    kind = params.get("trajectory", "drifting-scatters")
+    if kind not in _SWEEPABLE_TRAJECTORIES:
+        raise ExperimentError(
+            f"unknown sweep trajectory {kind!r}; "
+            f"known: {list(_SWEEPABLE_TRAJECTORIES)}"
+        )
+    if kind == "waypoint":
+        return tuple(params["speeds"]), "node speed per epoch"
+    return tuple(params["drifts"]), "drift per epoch"
+
+
+def _mission_trajectory(params: dict, x: float, seed: int) -> TrajectorySpec:
+    """One sweep point's trajectory (``x`` is the figure's x value)."""
+    kind = params.get("trajectory", "drifting-scatters")
+    if kind == "waypoint":
+        return TrajectorySpec(
+            kind="waypoint",
+            n=params["n"],
+            epochs=params["epochs"],
+            reach=params["reach"],
+            arena=params["arena"],
+            speed=x,
+            seed=seed,
+        )
+    return TrajectorySpec(
+        kind="drifting-scatters",
+        n=params["n"],
+        epochs=params["epochs"],
+        start=params["start"],
+        drift=x,
+        radius=params["radius"],
+        seed=seed,
+    )
+
 
 def _mission_cell(
-    params: dict, drift: float, seed: int, protocol: str, measure: str
+    params: dict,
+    x: float,
+    seed: int,
+    protocol: str,
+    measure: str,
+    adversary: AdversarySpec | None = None,
 ) -> MissionCellSpec:
     return MissionCellSpec(
         mission=MissionSpec(
-            trajectory=TrajectorySpec(
-                kind="drifting-scatters",
-                n=params["n"],
-                epochs=params["epochs"],
-                start=params["start"],
-                drift=drift,
-                radius=params["radius"],
-                seed=seed,
-            ),
+            trajectory=_mission_trajectory(params, x, seed),
             t=params["t"],
             connectivity_cutoff=params["t"] + 1,
             seed=seed,
             protocol=protocol,
+            adversary=adversary,
         ),
         measure=measure,
     )
@@ -763,14 +898,15 @@ def _plan_partition_detection(params: dict) -> FigurePlan:
     missions fly once).  Undefined latencies (no cut emerged) are
     dropped from aggregation via the group's ``NO_CUT_SENTINEL``.
     """
-    drifts, trials = params["drifts"], params["trials"]
+    xs, x_label = _mission_xs(params)
+    trials = params["trials"]
     figure = _new_figure(
         "partition-detection",
         (
             f"NECTAR detection-over-time on a separating fleet "
             f"(n={params['n']}, t={params['t']}, {params['epochs']} epochs)"
         ),
-        "drift per epoch",
+        x_label,
         "detection latency (epochs) / rate / KB",
         params,
     )
@@ -789,14 +925,14 @@ def _plan_partition_detection(params: dict) -> FigurePlan:
         figure.series_named(series)  # pin display order
     plan = FigurePlan(figure)
     seeds = _seeds(params, trials)
-    for drift in drifts:
+    for x in xs:
         for measure, series in _MEASURE_SERIES:
             plan.groups.append(
                 CellGroup(
                     series,
-                    drift,
+                    x,
                     tuple(
-                        _mission_cell(params, drift, seed, "nectar", measure)
+                        _mission_cell(params, x, seed, "nectar", measure)
                         for seed in seeds
                     ),
                     drop_value=(
@@ -817,14 +953,15 @@ def _plan_mtg_vs_nectar(params: dict) -> FigurePlan:
     partitioned one — the continuous-detection comparison the paper's
     one-shot spec leaves open.
     """
-    drifts, trials = params["drifts"], params["trials"]
+    xs, x_label = _mission_xs(params)
+    trials = params["trials"]
     figure = _new_figure(
         "mtg-vs-nectar-detection",
         (
             f"Detection latency on a separating fleet, NECTAR vs MtG "
             f"(n={params['n']}, t={params['t']}, {params['epochs']} epochs)"
         ),
-        "drift per epoch",
+        x_label,
         "detection latency (epochs)",
         params,
     )
@@ -837,15 +974,15 @@ def _plan_mtg_vs_nectar(params: dict) -> FigurePlan:
         figure.series_named(series)
     plan = FigurePlan(figure)
     seeds = _seeds(params, trials)
-    for drift in drifts:
+    for x in xs:
         for series, protocol in (("Nectar (ours)", "nectar"), ("MtG", "mtg")):
             plan.groups.append(
                 CellGroup(
                     series,
-                    drift,
+                    x,
                     tuple(
                         _mission_cell(
-                            params, drift, seed, protocol, "detection-latency"
+                            params, x, seed, protocol, "detection-latency"
                         )
                         for seed in seeds
                     ),
@@ -855,8 +992,96 @@ def _plan_mtg_vs_nectar(params: dict) -> FigurePlan:
     return plan
 
 
+#: the deception scenario's series: the temporal metrics that matter
+#: under an active adversary, headline first.  ``adversary-cut rate``
+#: reports how often the campaign's placement actually severed the
+#: correct subgraph (the ceiling an adaptive adversary chases).
+_DECEPTION_SERIES = (
+    ("detection-latency", "detection latency (epochs)"),
+    ("cut-emergence", "cut-emergence rate"),
+    ("false-alarm-rate", "false-alarm rate"),
+    ("adversary-cut-rate", "adversary-cut rate"),
+)
+
+
+def _plan_detection_under_deception(params: dict) -> FigurePlan:
+    """Detection-over-time with a live Byzantine campaign in the loop.
+
+    Same separating-fleet missions as ``partition-detection``, but
+    every epoch hosts an adversarial coalition — behaviour profile,
+    placement policy and size set by the ``adversary.*`` axes, the
+    campaign seed derived per trial so each trial fights a different
+    (reproducible) adversary.  The headline metric is detection
+    latency under active deception: how much longer a sleeper cell,
+    an equivocating coalition or an adaptive cut-chaser keeps the
+    fleet blind compared to the adversary-free baseline.
+    """
+    xs, x_label = _mission_xs(params)
+    trials = params["trials"]
+    profile = params["adversary.profile"]
+    placement = params["adversary.placement"]
+    count = params["adversary.count"]
+    figure = _new_figure(
+        "detection-under-deception",
+        (
+            f"NECTAR detection under deception "
+            f"({count}x {profile}, {placement} placement, "
+            f"n={params['n']}, t={params['t']}, {params['epochs']} epochs)"
+        ),
+        x_label,
+        "detection latency (epochs) / rate",
+        params,
+    )
+    figure.notes.append(
+        "every epoch hosts a live Byzantine coalition "
+        f"(profile={profile}, placement={placement}, count={count}); "
+        "the verdict stream is read from the smallest correct node and "
+        "ground truth accounts for the actual placement"
+    )
+    figure.notes.append(
+        "the deceptive profile is the Definition-3 Validity shape — a "
+        "correct-acting sleeper shielded by silent colluders — fixed "
+        "in the decision phase and kept under fire here"
+    )
+    for _, series in _DECEPTION_SERIES:
+        figure.series_named(series)  # pin display order
+    plan = FigurePlan(figure)
+    seeds = _seeds(params, trials)
+    for x in xs:
+        for measure, series in _DECEPTION_SERIES:
+            plan.groups.append(
+                CellGroup(
+                    series,
+                    x,
+                    tuple(
+                        _mission_cell(
+                            params,
+                            x,
+                            seed,
+                            "nectar",
+                            measure,
+                            adversary=AdversarySpec(
+                                profile=profile,
+                                placement=placement,
+                                count=count,
+                                seed=seed,
+                            ),
+                        )
+                        for seed in seeds
+                    ),
+                    drop_value=(
+                        NO_CUT_SENTINEL
+                        if measure == "detection-latency"
+                        else None
+                    ),
+                )
+            )
+    return plan
+
+
 register_plan("partition-detection", _plan_partition_detection)
 register_plan("mtg-vs-nectar-detection", _plan_mtg_vs_nectar)
+register_plan("detection-under-deception", _plan_detection_under_deception)
 
 _SCALED_SWEEP = frozenset({"workers", "paper-scale"})
 
@@ -868,6 +1093,21 @@ _MISSION_AXES = (
     AxisSpec("start", 0.0),
     AxisSpec("drifts", (0.5, 1.0), (0.25, 0.5, 1.0, 2.0)),
     AxisSpec("trials", 3, 20),
+    # Trajectory family (PR-5 carry-over): ``--set trajectory=waypoint``
+    # switches the x axis from barycenter drift to node speed, with
+    # ``reach``/``arena`` fixing the proximity model and ``speeds``
+    # supplying the x values.
+    AxisSpec("trajectory", "drifting-scatters"),
+    AxisSpec("reach", 2.5),
+    AxisSpec("arena", 5.0),
+    AxisSpec("speeds", (0.5, 1.0), (0.25, 0.5, 1.0, 2.0)),
+)
+
+#: the adversarial campaign axes of ``detection-under-deception``.
+_ADVERSARY_AXES = (
+    AxisSpec("adversary.profile", "deceptive"),
+    AxisSpec("adversary.placement", "static", "adaptive"),
+    AxisSpec("adversary.count", 2),
 )
 
 register_sweep(
@@ -892,8 +1132,20 @@ register_sweep(
     )
 )
 
+register_sweep(
+    SweepSpec(
+        figure_id="detection-under-deception",
+        title="NECTAR detection latency under an active Byzantine campaign",
+        axes=_MISSION_AXES + _ADVERSARY_AXES,
+        plan="detection-under-deception",
+        capabilities=_SCALED_SWEEP,
+        seed_mode="hashed",
+    )
+)
+
 
 __all__ = [
+    "AdversarySpec",
     "EPOCH_SEED_MODES",
     "EpochOutcome",
     "EpochReport",

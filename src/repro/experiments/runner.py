@@ -98,25 +98,10 @@ class Deployment:
         return result
 
 
-def build_deployment(
-    graph: Graph,
-    scheme: SignatureScheme | None = None,
-    seed: int = 0,
-    artifacts: bool = False,
+def _fresh_deployment(
+    graph: Graph, scheme: SignatureScheme, seed: int, artifacts: bool
 ) -> Deployment:
-    """Generate keys and per-edge neighborhood proofs for a topology.
-
-    Args:
-        artifacts: consult the sweep-scoped signer key pool
-            (DESIGN.md §9.1): key material for ``(scheme, node ids,
-            seed)`` is generated once per process and reused — safe
-            because key generation is a pure function of the seed.
-            The deployment then carries the *pool's* scheme instance
-            (stateful schemes keep their verification directory on the
-            instance that generated the keys).
-    """
-    if scheme is None:
-        scheme = HmacScheme()
+    """Build a deployment from scratch (the deployment store's builder)."""
     if artifacts:
         key_store = ARTIFACTS.key_store(
             scheme,
@@ -134,6 +119,38 @@ def build_deployment(
         for edge in sorted(graph.edges())
     }
     return Deployment(graph=graph, key_store=key_store, scheme=scheme, proofs=proofs)
+
+
+def build_deployment(
+    graph: Graph,
+    scheme: SignatureScheme | None = None,
+    seed: int = 0,
+    artifacts: bool = False,
+) -> Deployment:
+    """Generate keys and per-edge neighborhood proofs for a topology.
+
+    Args:
+        artifacts: consult the sweep-scoped deployment store
+            (DESIGN.md §9.1): the full deployment — key material for
+            ``(scheme, node ids, seed)`` *and* the signed per-edge
+            neighborhood proofs — is generated once per process per
+            ``(graph, scheme, seed)`` and reused; safe because both
+            keygen and proof signing are pure functions of that key.
+            The deployment then carries the *pool's* scheme instance
+            (stateful schemes keep their verification directory on the
+            instance that generated the keys).  Schemes without a
+            fingerprint skip the store (fresh deployment, as before).
+    """
+    if scheme is None:
+        scheme = HmacScheme()
+    if artifacts:
+        return ARTIFACTS.deployment(
+            graph,
+            scheme,
+            seed,
+            lambda: _fresh_deployment(graph, scheme, seed, artifacts=True),
+        )
+    return _fresh_deployment(graph, scheme, seed, artifacts=False)
 
 
 def honest_nectar_factory(setup: NodeSetup) -> NectarNode:

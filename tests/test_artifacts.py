@@ -350,7 +350,11 @@ class TestTrialEquivalence:
         second = run_trial(
             graph, t=1, scheme=RsaScheme(bits=256), seed=3, env=cached_env
         )
-        assert ARTIFACTS.stats.key_pool_hits == 1
+        # The second run reuses the whole interned deployment (keys and
+        # proofs), so the key pool is only consulted by the first build.
+        assert ARTIFACTS.stats.deployment_hits == 1
+        assert ARTIFACTS.stats.deployment_misses == 1
+        assert ARTIFACTS.stats.key_pool_misses == 1
         for result in (first, second):
             assert result.verdicts == plain.verdicts
             assert result.stats.bytes_sent == plain.stats.bytes_sent

@@ -43,10 +43,22 @@ class TestDecide:
         assert not verdict.confirmed  # everyone reachable
         assert verdict.connectivity == 1
 
-    def test_unreachable_nodes_confirm_partition(self, discovered_builder):
-        # Node 4 never discovered: r != n.
+    def test_unreachable_within_budget_is_unconfirmed(self, discovered_builder):
+        # Node 4 never discovered: r != n, but the single missing node
+        # fits inside t = 1 — it may simply be a silent Byzantine node,
+        # so Validity forbids a confirmed claim.
         edges = ring_edges(4)
         verdict = decide(discovered_builder(5, edges), node_id=0, t=1)
+        assert verdict.decision is Decision.PARTITIONABLE
+        assert not verdict.confirmed
+        assert verdict.reachable == 4
+        assert verdict.connectivity is None  # short-circuited
+
+    def test_unreachable_beyond_budget_confirms_partition(self, discovered_builder):
+        # Nodes 4 and 5 never discovered: n - r = 2 > t = 1, so at
+        # least one missing node is correct and the cut is genuine.
+        edges = ring_edges(4)
+        verdict = decide(discovered_builder(6, edges), node_id=0, t=1)
         assert verdict.decision is Decision.PARTITIONABLE
         assert verdict.confirmed
         assert verdict.reachable == 4

@@ -1,15 +1,13 @@
-"""Pinned reproductions of known, still-open bugs.
+"""Pinned reproductions of known bugs, kept as regression guards.
 
-Each test here is an ``xfail(strict=True)`` witness: it *must* fail
-while the bug exists, and the suite goes red the moment a change fixes
-(or shifts) the behaviour — at which point the xfail marker comes off
-and the test becomes a regression guard.  This replaces hoping that
-hypothesis happens to redraw the falsifying example.
+Each test here started life as an ``xfail(strict=True)`` witness of a
+still-open bug; once the bug is fixed the marker comes off and the
+test stays forever, pinning both the property that was violated and
+the exact observable output of the fixed code.  This replaces hoping
+that hypothesis happens to redraw the falsifying example.
 """
 
 from __future__ import annotations
-
-import pytest
 
 from repro.adversary.behaviors import SilentNode
 from repro.core.decision import clear_connectivity_cache
@@ -24,29 +22,17 @@ from repro.graphs.graph import Graph
 from repro.types import Decision
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason=(
-        "Latent Definition-3 Validity violation (pre-existing; found by "
-        "hypothesis fuzzing during the PR-3 review, reproduced at commit "
-        "6d0897d and tracked in ROADMAP.md): on the path graph "
-        "0-1-2-3 with t=2 and Byzantine {0, 1} — node 0 acting fully "
-        "correctly, node 1 silent — the correct nodes 2 and 3 decide "
-        "PARTITIONABLE with confirmed=True, although {0, 1} is not a "
-        "vertex cut of G (removing it leaves the single edge 2-3, still "
-        "connected).  Theorem 2 says confirmed=True must imply an actual "
-        "cut; the decision-phase edge case at small n with correct-acting "
-        "Byzantine nodes breaks it."
-    ),
-)
-def test_definition_3_validity_on_the_path_graph_counterexample():
+def _path_graph_counterexample_trial():
+    """The falsifying example hypothesis found during the PR-3 review:
+    path graph 0-1-2-3, t=2, Byzantine {0, 1} with node 0 acting fully
+    correctly and node 1 silent.  Nodes 2 and 3 cannot reach {0, 1},
+    but the missing set is exactly the Byzantine budget — it may be
+    all-Byzantine, so a confirmed partition claim would be unsound."""
     graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
-    t = 2
-    byzantine = frozenset({0, 1})
     clear_connectivity_cache()
     result = run_trial(
         graph,
-        t=t,
+        t=2,
         byzantine_factories={
             0: honest_nectar_factory,  # correct-acting Byzantine node
             1: lambda setup: SilentNode(setup.node_id),
@@ -54,6 +40,23 @@ def test_definition_3_validity_on_the_path_graph_counterexample():
         with_ground_truth=False,
         seed=0,
     )
+    return graph, result
+
+
+def test_definition_3_validity_on_the_path_graph_counterexample():
+    """Fixed (formerly a strict xfail): Definition-3 Validity on the
+    path-graph counterexample.
+
+    The decision phase used to report ``confirmed=True`` whenever
+    ``r != n``; on this graph the correct nodes 2 and 3 then claimed
+    confirmed evidence of a partition although {0, 1} is not a vertex
+    cut of G (removing it leaves the single edge 2-3, still
+    connected).  The fix confirms only when ``n - r > t`` — when the
+    missing set cannot consist entirely of Byzantine processes.
+    """
+    graph, result = _path_graph_counterexample_trial()
+    t = 2
+    byzantine = frozenset({0, 1})
     truth = compute_ground_truth(graph, t, byzantine)
     correct_verdicts = result.correct_verdicts
 
@@ -63,8 +66,8 @@ def test_definition_3_validity_on_the_path_graph_counterexample():
     assert not is_vertex_cut(graph, byzantine)
     assert not truth.correct_subgraph_partitioned
 
-    # The Validity property (Sec. III-D / Theorem 2) — this is what
-    # the open bug breaks: both correct nodes report confirmed=True.
+    # The Validity property (Sec. III-D / Theorem 2) — what the fixed
+    # bug used to break: neither correct node may report confirmed=True.
     assert validity_holds(correct_verdicts, truth), (
         f"confirmed verdicts without a Byzantine cut: "
         f"{[(v, vd.decision, vd.confirmed) for v, vd in correct_verdicts.items()]}"
@@ -72,23 +75,42 @@ def test_definition_3_validity_on_the_path_graph_counterexample():
 
 
 def test_path_graph_counterexample_decisions_are_stable():
-    """A non-xfail companion pinning today's (buggy) observable output,
-    so an accidental behaviour *shift* is caught even before the bug is
-    fixed: both correct nodes currently decide PARTITIONABLE with
-    confirmed=True."""
-    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
-    clear_connectivity_cache()
-    result = run_trial(
-        graph,
-        t=2,
-        byzantine_factories={
-            0: honest_nectar_factory,
-            1: lambda setup: SilentNode(setup.node_id),
-        },
-        with_ground_truth=False,
-        seed=0,
-    )
+    """A companion pinning the fixed observable output exactly: both
+    correct nodes decide PARTITIONABLE but with confirmed=False.  They
+    see r = 3 (node 1's edges are announced by its correct neighbor 2,
+    so only the correct-acting node 0 stays invisible), and the
+    missing set {0} fits inside t=2 — no correct node can rule out an
+    all-Byzantine silence."""
+    _, result = _path_graph_counterexample_trial()
     for node in (2, 3):
         verdict = result.verdicts[node]
         assert verdict.decision is Decision.PARTITIONABLE
+        assert verdict.confirmed is False
+        assert verdict.reachable == 3
+
+
+def test_confirmed_partition_still_reported_beyond_the_budget():
+    """The fix must not over-correct: when more processes are missing
+    than t could explain, at least one of them is correct and the
+    confirmed claim is sound (and required — this is the paper's
+    ll. 22-24 case)."""
+    # Path 0-1-2-3-4-5, t=1, node 2 silent: each side misses at least
+    # the two far nodes beyond the silent bridge (announcements cannot
+    # cross it), so n - r >= 2 > t = 1 everywhere and {2} really does
+    # cut the correct subgraph.
+    graph = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    clear_connectivity_cache()
+    result = run_trial(
+        graph,
+        t=1,
+        byzantine_factories={2: lambda setup: SilentNode(setup.node_id)},
+        with_ground_truth=False,
+        seed=0,
+    )
+    truth = compute_ground_truth(graph, 1, frozenset({2}))
+    assert truth.correct_subgraph_partitioned
+    for node in (0, 1, 3, 4, 5):
+        verdict = result.verdicts[node]
+        assert verdict.decision is Decision.PARTITIONABLE
         assert verdict.confirmed is True
+    assert validity_holds(result.correct_verdicts, truth)

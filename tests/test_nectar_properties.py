@@ -18,16 +18,20 @@ which no protocol instance ever sees.
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.adversary.behaviors import (
+    BadAggregatorNectarNode,
+    CollusionTracker,
     EdgeConcealingNectarNode,
+    EquivocatingNectarNode,
     FictitiousEdgeNectarNode,
     ForgingNectarNode,
     JunkInjectorNode,
     OverChainedNectarNode,
     SilentNode,
+    SleeperNectarNode,
     StaleChainNectarNode,
     TwoFacedNectarNode,
 )
@@ -52,6 +56,12 @@ BEHAVIOUR_NAMES = (
     "junk",
     "fictitious",
     "forge",
+    # campaign behaviours (repro.adversary.campaign profiles): the
+    # correct-acting shape that found the Validity bug, plus the
+    # coordinated-deception pair.
+    "sleeper",
+    "equivocate",
+    "bad-aggregator",
 )
 
 
@@ -107,6 +117,18 @@ def make_factory(name: str, byzantine: frozenset[int], salt: int):
             return ForgingNectarNode(
                 *_nectar_args(setup), victim=victims[salt % len(victims)]
             )
+        if name == "sleeper":
+            return SleeperNectarNode(*_nectar_args(setup))
+        if name == "equivocate":
+            # The tracker is a pure function of the correct set, so
+            # every coalition member rebuilds the *same* half split —
+            # coordinated equivocation without object sharing across
+            # the per-node factories.
+            tracker = CollusionTracker(correct, seed=0)
+            return EquivocatingNectarNode(*_nectar_args(setup), tracker=tracker)
+        if name == "bad-aggregator":
+            victims = frozenset(correct[: (salt % (len(correct) + 1))])
+            return BadAggregatorNectarNode(*_nectar_args(setup), victims=victims)
         raise AssertionError(f"unknown behaviour {name}")
 
     return factory
@@ -144,6 +166,51 @@ def adversarial_runs(draw):
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(adversarial_runs())
+# Committed falsifying/sentinel examples, so CI deterministically
+# replays the shapes that matter instead of hoping the random draw
+# rediscovers them.  First: the path-graph counterexample that broke
+# Validity (correct-acting sleeper + silent colluder, missing set
+# within budget).
+@example(
+    (
+        Graph(4, [(0, 1), (1, 2), (2, 3)]),
+        2,
+        frozenset({0, 1}),
+        {0: "sleeper", 1: "silent"},
+        0,
+    )
+)
+# A sleeper pair on a cycle: full budget spent on nodes that never
+# misbehave — nothing may be reported.
+@example(
+    (
+        Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        2,
+        frozenset({1, 3}),
+        {1: "sleeper", 3: "sleeper"},
+        3,
+    )
+)
+# A coordinated equivocating coalition bridging two halves.
+@example(
+    (
+        Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+        2,
+        frozenset({0, 3}),
+        {0: "equivocate", 3: "equivocate"},
+        7,
+    )
+)
+# A bad aggregator sitting on the only bridge of a path graph.
+@example(
+    (
+        Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]),
+        1,
+        frozenset({2}),
+        {2: "bad-aggregator"},
+        11,
+    )
+)
 def test_definition_3_properties(run):
     graph, t, byzantine, behaviours, salt = run
     clear_connectivity_cache()

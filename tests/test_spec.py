@@ -109,6 +109,8 @@ class TestRegistry:
             # the off-model environment scenarios (DESIGN.md §8):
             "backend-comparison",
             "connectivity-resilience",
+            # the adversarial mission campaign scenario (DESIGN.md §11):
+            "detection-under-deception",
             "fig3",
             "fig3-random",
             "fig4",
