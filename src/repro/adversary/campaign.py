@@ -111,6 +111,35 @@ class AdversarySpec:
             "seed": self.seed,
         }
 
+    @classmethod
+    def from_payload(cls, payload: Any) -> "AdversarySpec":
+        """Rebuild a campaign from :meth:`payload` output (wire form).
+
+        Validation against ``t`` happens at the owning mission's
+        :meth:`~repro.experiments.mission.MissionSpec.validate`, which
+        every deserialisation path calls.
+
+        Raises:
+            ExperimentError: on non-object payloads or unknown fields.
+        """
+        if not isinstance(payload, dict):
+            raise ExperimentError(
+                f"an adversary payload must be an object, got {payload!r}"
+            )
+        known = {"profile", "placement", "count", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown adversary payload fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(
+            profile=str(payload.get("profile", "deceptive")),
+            placement=str(payload.get("placement", "static")),
+            count=int(payload.get("count", 1)),
+            seed=int(payload.get("seed", 0)),
+        )
+
 
 def _draw(rng: random.Random, graph: Graph, count: int) -> frozenset[NodeId]:
     nodes = sorted(graph.nodes())

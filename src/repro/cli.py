@@ -10,6 +10,8 @@ The subcommands cover the everyday uses of the library::
     python -m repro sweep fig3 --set env.artifacts=true --artifact-store benchmarks/out/
     python -m repro mission partition-detection --set drifts=0.5,1.0 --timeline
     python -m repro mission mtg-vs-nectar-detection --set env.bandwidth=2 --set env.channel=budgeted
+    python -m repro mission detection-under-deception --events out/events.jsonl --mission-out out/mission.json
+    python -m repro serve --events out/serve.jsonl < submit-lines.ndjson
     python -m repro bench --smoke --compare benchmarks/baselines
     python -m repro diff out/fig3-abc.json out/fig3-def.json
     python -m repro diff out-baseline/ out-candidate/
@@ -26,7 +28,11 @@ model, backend, validation, signature scheme, artifact cache —
 DESIGN.md §8-9) on every sweep.  ``mission`` runs the
 detection-over-time scenarios of the mission layer (DESIGN.md §10) —
 the same declarative sweep machinery, plus an optional per-epoch
-verdict timeline.  ``bench`` runs the registered perf
+verdict timeline (``--timeline`` streams, ``--events`` logs the typed
+event schema shared with the daemon).  ``serve`` boots the long-lived
+fleet daemon (DESIGN.md §12): missions submitted as NDJSON lines are
+multiplexed on one event loop and streamed back as typed epoch
+events, bit-identical to their batch runs.  ``bench`` runs the registered perf
 scenarios headlessly and emits ``BENCH_*.json`` ledgers (wall times,
 speedups, cache hit rates), optionally comparing them against
 committed baselines (exit 1 on regression).  ``diff`` compares two
@@ -47,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import sys
 from typing import Sequence
 
 from repro.errors import ExperimentError
@@ -60,7 +67,14 @@ from repro.experiments.persistence import (
 from repro.experiments.artifacts import ARTIFACTS
 from repro.experiments.mission import (
     MISSION_FIGURES,
+    EpochReport,
+    MissionSession,
+    MissionSpec,
+    cached_mission_result,
+    mission_digest,
     mission_result,
+    store_mission_result,
+    write_mission_artifact,
 )
 from repro.experiments.report import FigureData
 from repro.experiments.runner import run_trial
@@ -249,7 +263,90 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="base seed for --seed-mode hashed (default 0)",
     )
+    mission.add_argument(
+        "--events",
+        metavar="PATH",
+        help=(
+            "write the first cell's mission as a JSONL event log "
+            "(the same schema repro serve streams)"
+        ),
+    )
+    mission.add_argument(
+        "--mission-out",
+        metavar="PATH",
+        help=(
+            "write the first cell's mission verdict-stream artefact "
+            "(repro diff-able against a serve-produced one)"
+        ),
+    )
+    mission.add_argument(
+        "--mission-spec",
+        metavar="PATH",
+        help=(
+            "write the first cell's mission spec as JSON (the payload a "
+            "repro serve submit line takes)"
+        ),
+    )
     _add_sweep_options(mission)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "long-lived fleet daemon (DESIGN.md §12): submit missions and "
+            "stream their epochs as NDJSON events over stdio or a unix "
+            "socket"
+        ),
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="listen on a unix socket instead of speaking NDJSON on stdio",
+    )
+    serve.add_argument(
+        "--tick-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="epoch cadence: sleep MS milliseconds after each tick (default 0)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="missions stepped per tick (default 8)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "per-subscription event-queue bound; slow consumers shed "
+            "events past it (default 256, 0 = unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--scheduler-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="tick-window shuffle seed (interleaving is reproducible per seed)",
+    )
+    serve.add_argument(
+        "--events",
+        metavar="PATH",
+        help="also append every event to a JSONL log (never sheds)",
+    )
+    serve.add_argument(
+        "--on-eof",
+        choices=("drain", "stop"),
+        default="drain",
+        help=(
+            "stdio mode: on stdin EOF, finish in-flight missions (drain, "
+            "the default) or shut down immediately (stop)"
+        ),
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -598,22 +695,36 @@ def _list_missions() -> int:
     return 0
 
 
-def _print_timeline(resolved: ResolvedSweep) -> None:
-    """Replay the first cell's mission serially, print its epoch stream."""
+def _first_mission(resolved: ResolvedSweep) -> MissionSpec | None:
+    """The first cell's mission of a resolved mission sweep (or None)."""
     plan = SWEEP_ENGINE.plan(resolved)
     cells = [cell for group in plan.groups for cell in group.cells]
     if not cells:
-        print("timeline: the resolved sweep has no cells")
-        return
-    cell = cells[0].with_env(resolved.env, resolved.env_fields)
-    mission = cell.mission
-    # Serial sweeps memoised this mission in-process, making the
-    # timeline free; sharded sweeps memoised it in a worker that is
-    # gone, so the timeline costs one extra serial flight.
-    result = mission_result(mission)
+        return None
+    return cells[0].with_env(resolved.env, resolved.env_fields).mission
+
+
+def _print_epoch_line(report: EpochReport) -> None:
+    verdict = report.verdict
+    decision = getattr(verdict, "decision", verdict)
+    confirmed = getattr(verdict, "confirmed", False)
+    label = f"{decision}" + (" (confirmed)" if confirmed else "")
+    truth = "cut " if report.partitionable else "safe"
+    marker = " !" if report.escalated else "  "
+    # flush per line: a long mission shows progress live, the way a
+    # service subscription would, instead of buffering to the end.
+    print(
+        f"  epoch {report.epoch:>3}{marker} {label:<32} truth={truth} "
+        f"{report.mean_kb_sent:8.1f} KB/node",
+        flush=True,
+    )
+
+
+def _print_timeline(mission: MissionSpec) -> None:
+    """Stream the first cell's mission, one epoch line per epoch."""
     print(
         f"timeline: {mission.protocol} mission, seed={mission.seed}, "
-        f"{result.epochs} epochs "
+        f"{mission.trajectory.length} epochs "
         f"(trajectory: {mission.trajectory.kind}, n={mission.trajectory.n})"
     )
     adversary = getattr(mission, "adversary", None)
@@ -622,17 +733,19 @@ def _print_timeline(resolved: ResolvedSweep) -> None:
             f"  adversary: {adversary.count}x {adversary.profile} "
             f"({adversary.placement} placement, seed={adversary.seed})"
         )
-    for report in result.reports:
-        verdict = report.verdict
-        decision = getattr(verdict, "decision", verdict)
-        confirmed = getattr(verdict, "confirmed", False)
-        label = f"{decision}" + (" (confirmed)" if confirmed else "")
-        truth = "cut " if report.partitionable else "safe"
-        marker = " !" if report.escalated else "  "
-        print(
-            f"  epoch {report.epoch:>3}{marker} {label:<32} truth={truth} "
-            f"{report.mean_kb_sent:8.1f} KB/node"
-        )
+    result = cached_mission_result(mission)
+    if result is not None:
+        # A serial sweep already memoised this mission: replay is free.
+        for report in result.reports:
+            _print_epoch_line(report)
+    else:
+        # Sharded sweeps memoised it in a worker that is gone: fly it
+        # once more, serially, flushing each epoch as it lands.
+        session = MissionSession(mission)
+        while not session.done:
+            _print_epoch_line(session.step())
+        result = session.result()
+        store_mission_result(mission, result)
     print(
         f"  -> emergence={result.emergence_epoch} "
         f"detection={result.detection_epoch} "
@@ -661,8 +774,38 @@ def _run_mission_cmd(args: argparse.Namespace) -> int:
     )
     _render_figure(figure)
     metadata = _report_artifacts()
-    if args.timeline:
-        _print_timeline(resolved)
+    mission = None
+    if args.timeline or args.events or args.mission_out or args.mission_spec:
+        mission = _first_mission(resolved)
+        if mission is None:
+            print("timeline: the resolved sweep has no cells")
+    if mission is not None:
+        if args.timeline:
+            _print_timeline(mission)
+        if args.mission_spec:
+            spec_path = pathlib.Path(args.mission_spec)
+            spec_path.parent.mkdir(parents=True, exist_ok=True)
+            spec_path.write_text(
+                json.dumps({"mission": mission.payload()}, indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"mission spec: {spec_path}")
+        if args.events or args.mission_out:
+            result = mission_result(mission)  # memoised if the timeline ran
+            if args.events:
+                from repro.service.events import EventLog, mission_events
+
+                mission_id = f"mission-{mission_digest(mission)[:12]}"
+                events = mission_events(mission_id, result, label=args.name)
+                with EventLog(args.events) as log:
+                    for event in events:
+                        log.emit(event)
+                print(f"events: {args.events} ({len(events)} events)")
+            if args.mission_out:
+                print(
+                    f"mission artefact: "
+                    f"{write_mission_artifact(result, args.mission_out)}"
+                )
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out, metadata=metadata)}")
     if args.csv:
@@ -784,6 +927,39 @@ def _run_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import EventLog, FleetService
+    from repro.service.protocol import serve_socket, serve_stdio
+
+    event_log = EventLog(args.events) if args.events else None
+    service = FleetService(
+        tick_interval=args.tick_ms / 1000.0,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        seed=args.scheduler_seed,
+        event_log=event_log,
+    )
+    try:
+        if args.socket:
+            # stdout stays free in socket mode; the banner helps humans
+            # find the endpoint either way, so it goes to stderr.
+            print(f"serve: listening on {args.socket}", file=sys.stderr)
+            asyncio.run(serve_socket(service, args.socket))
+        else:
+            print(
+                "serve: NDJSON on stdio "
+                f"(on EOF: {args.on_eof}; events: {args.events or 'off'})",
+                file=sys.stderr,
+            )
+            asyncio.run(serve_stdio(service, on_eof=args.on_eof))
+    finally:
+        if event_log is not None:
+            event_log.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -792,6 +968,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _run_figure,
         "sweep": _run_sweep,
         "mission": _run_mission_cmd,
+        "serve": _run_serve,
         "bench": _run_bench,
         "diff": _run_diff,
         "map": _run_map,

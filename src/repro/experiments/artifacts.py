@@ -62,6 +62,7 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 import pickle
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, TypeVar
 
@@ -190,6 +191,13 @@ class ArtifactCache:
     """
 
     def __init__(self) -> None:
+        # Serialises store access for thread-concurrent clients: the
+        # fleet service steps missions on worker threads against the
+        # ARTIFACTS singleton (DESIGN.md §12).  Builders run under the
+        # lock — they are pure and key-distinct requests rarely collide
+        # in practice, and holding it guarantees one build per key.
+        # Reentrant because builders may consult other stores.
+        self._lock = threading.RLock()
         self.stats = ArtifactStats()
         self._topologies: dict[str, object] = {}
         self._connectivity: dict[tuple[str, int | None], int] = {}
@@ -222,15 +230,16 @@ class ArtifactCache:
         ``key`` should come from :func:`artifact_key` over the full
         topology-spec payload; the builder runs on the first request.
         """
-        cached = self._topologies.get(key)
-        if cached is not None:
-            self.stats.topology_hits += 1
-            return cached  # type: ignore[return-value]
-        self.stats.topology_misses += 1
-        value = build()
-        self._topologies[key] = value
-        self._delta_topologies[key] = value
-        return value
+        with self._lock:
+            cached = self._topologies.get(key)
+            if cached is not None:
+                self.stats.topology_hits += 1
+                return cached  # type: ignore[return-value]
+            self.stats.topology_misses += 1
+            value = build()
+            self._topologies[key] = value
+            self._delta_topologies[key] = value
+            return value
 
     def connectivity(
         self, graph: Graph, cutoff: int | None, compute: Callable[[], int]
@@ -242,15 +251,16 @@ class ArtifactCache:
         certificate.
         """
         key = (graph.digest(), cutoff)
-        cached = self._connectivity.get(key)
-        if cached is not None:
-            self.stats.connectivity_hits += 1
-            return cached
-        self.stats.connectivity_misses += 1
-        value = compute()
-        self._connectivity[key] = value
-        self._delta_connectivity[key] = value
-        return value
+        with self._lock:
+            cached = self._connectivity.get(key)
+            if cached is not None:
+                self.stats.connectivity_hits += 1
+                return cached
+            self.stats.connectivity_misses += 1
+            value = compute()
+            self._connectivity[key] = value
+            self._delta_connectivity[key] = value
+            return value
 
     def key_store(
         self,
@@ -272,15 +282,16 @@ class ArtifactCache:
             self.stats.key_pool_bypasses += 1
             return build()
         key = (fingerprint, tuple(sorted(set(node_ids))), seed)
-        cached = self._key_pools.get(key)
-        if cached is not None:
-            self.stats.key_pool_hits += 1
-            return cached
-        self.stats.key_pool_misses += 1
-        store = build()
-        self._key_pools[key] = store
-        self._delta_key_pools[key] = store
-        return store
+        with self._lock:
+            cached = self._key_pools.get(key)
+            if cached is not None:
+                self.stats.key_pool_hits += 1
+                return cached
+            self.stats.key_pool_misses += 1
+            store = build()
+            self._key_pools[key] = store
+            self._delta_key_pools[key] = store
+            return store
 
     def deployment(
         self,
@@ -304,28 +315,30 @@ class ArtifactCache:
             self.stats.deployment_bypasses += 1
             return build()
         key = (graph.digest(), fingerprint, seed)
-        cached = self._deployments.get(key)
-        if cached is not None:
-            self.stats.deployment_hits += 1
-            return cached  # type: ignore[return-value]
-        self.stats.deployment_misses += 1
-        value = build()
-        self._deployments[key] = value
-        self._delta_deployments[key] = value
-        return value
+        with self._lock:
+            cached = self._deployments.get(key)
+            if cached is not None:
+                self.stats.deployment_hits += 1
+                return cached  # type: ignore[return-value]
+            self.stats.deployment_misses += 1
+            value = build()
+            self._deployments[key] = value
+            self._delta_deployments[key] = value
+            return value
 
     # ------------------------------------------------------------------
     # Sharing and persistence
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """A picklable view of the stores (counters not included)."""
-        return {
-            "version": _SNAPSHOT_VERSION,
-            "topologies": self._topologies,
-            "connectivity": self._connectivity,
-            "key_pools": self._key_pools,
-            "deployments": self._deployments,
-        }
+        with self._lock:
+            return {
+                "version": _SNAPSHOT_VERSION,
+                "topologies": dict(self._topologies),
+                "connectivity": dict(self._connectivity),
+                "key_pools": dict(self._key_pools),
+                "deployments": dict(self._deployments),
+            }
 
     def adopt(self, snapshot: dict) -> None:
         """Replace the stores with a :meth:`snapshot` (worker warm-up).
@@ -339,11 +352,12 @@ class ArtifactCache:
             return
         if snapshot.get("version") != _SNAPSHOT_VERSION:
             return
-        self._topologies = dict(snapshot["topologies"])
-        self._connectivity = dict(snapshot["connectivity"])
-        self._key_pools = dict(snapshot["key_pools"])
-        self._deployments = dict(snapshot.get("deployments", {}))
-        self._reset_delta()
+        with self._lock:
+            self._topologies = dict(snapshot["topologies"])
+            self._connectivity = dict(snapshot["connectivity"])
+            self._key_pools = dict(snapshot["key_pools"])
+            self._deployments = dict(snapshot.get("deployments", {}))
+            self._reset_delta()
 
     def drain_delta(self) -> dict:
         """Entries and counter increments since the last drain/adopt.
@@ -357,20 +371,21 @@ class ArtifactCache:
         stats cover the whole process tree, not just the parent's
         warm-up set.  Draining starts the next window.
         """
-        counts = self.stats.counters()
-        delta = {
-            "version": _SNAPSHOT_VERSION,
-            "topologies": self._delta_topologies,
-            "connectivity": self._delta_connectivity,
-            "key_pools": self._delta_key_pools,
-            "deployments": self._delta_deployments,
-            "stats": {
-                name: counts[name] - self._stats_mark.get(name, 0)
-                for name in counts
-            },
-        }
-        self._reset_delta()
-        return delta
+        with self._lock:
+            counts = self.stats.counters()
+            delta = {
+                "version": _SNAPSHOT_VERSION,
+                "topologies": self._delta_topologies,
+                "connectivity": self._delta_connectivity,
+                "key_pools": self._delta_key_pools,
+                "deployments": self._delta_deployments,
+                "stats": {
+                    name: counts[name] - self._stats_mark.get(name, 0)
+                    for name in counts
+                },
+            }
+            self._reset_delta()
+            return delta
 
     def merge_delta(self, delta: dict) -> None:
         """Fold one :meth:`drain_delta` report into this cache.
@@ -382,27 +397,29 @@ class ArtifactCache:
         """
         if not isinstance(delta, dict) or delta.get("version") != _SNAPSHOT_VERSION:
             return
-        for entries, target in (
-            (delta.get("topologies"), self._topologies),
-            (delta.get("connectivity"), self._connectivity),
-            (delta.get("key_pools"), self._key_pools),
-            (delta.get("deployments"), self._deployments),
-        ):
-            for key, value in (entries or {}).items():
-                target.setdefault(key, value)
-        for name, increment in (delta.get("stats") or {}).items():
-            if hasattr(self.stats, name):
-                setattr(self.stats, name, getattr(self.stats, name) + increment)
-                self._stats_mark[name] = self._stats_mark.get(name, 0) + increment
+        with self._lock:
+            for entries, target in (
+                (delta.get("topologies"), self._topologies),
+                (delta.get("connectivity"), self._connectivity),
+                (delta.get("key_pools"), self._key_pools),
+                (delta.get("deployments"), self._deployments),
+            ):
+                for key, value in (entries or {}).items():
+                    target.setdefault(key, value)
+            for name, increment in (delta.get("stats") or {}).items():
+                if hasattr(self.stats, name):
+                    setattr(self.stats, name, getattr(self.stats, name) + increment)
+                    self._stats_mark[name] = self._stats_mark.get(name, 0) + increment
 
     def clear(self) -> None:
         """Drop every store and reset the counters."""
-        self.stats = ArtifactStats()
-        self._topologies.clear()
-        self._connectivity.clear()
-        self._key_pools.clear()
-        self._deployments.clear()
-        self._reset_delta()
+        with self._lock:
+            self.stats = ArtifactStats()
+            self._topologies.clear()
+            self._connectivity.clear()
+            self._key_pools.clear()
+            self._deployments.clear()
+            self._reset_delta()
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
         """Persist a snapshot (the opt-in on-disk layer)."""

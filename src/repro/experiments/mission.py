@@ -49,6 +49,7 @@ bit-identical for any worker count, with the artifact cache on or off.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Sequence
 
@@ -67,6 +68,8 @@ from repro.errors import ExperimentError
 from repro.experiments.artifacts import ARTIFACTS, artifact_key
 from repro.experiments.envspec import DEFAULT_ENVIRONMENT, EnvironmentSpec
 from repro.experiments.parallel import parallel_map
+from repro.experiments.persistence import dump_figure_json
+from repro.experiments.report import FigureData
 from repro.experiments.runner import (
     compute_ground_truth,
     honest_mtg_factory,
@@ -230,6 +233,33 @@ class TrajectorySpec:
             "seed": self.seed,
         }
 
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TrajectorySpec":
+        """Rebuild a declarative trajectory from :meth:`payload` output.
+
+        The wire half of the fleet-service submit protocol: a JSON
+        object round-trips to an identical spec (and therefore an
+        identical artifact key).  Explicit trajectories have no payload
+        and cannot cross this boundary.
+
+        Raises:
+            ExperimentError: on unknown fields or an invalid spec.
+        """
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"a trajectory payload must be an object, got {payload!r}"
+            )
+        known = set(_TRAJECTORY_PAYLOAD_FIELDS)
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown trajectory payload fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        spec = cls(**dict(payload))
+        spec.validate()
+        return spec
+
     def artifact_key(self) -> str:
         """The content address interned trajectories live under."""
         return artifact_key({"trajectory": self.payload()})
@@ -257,6 +287,21 @@ class TrajectorySpec:
                 )
             )
         return self.sequence
+
+
+#: the JSON fields of a declarative trajectory payload.
+_TRAJECTORY_PAYLOAD_FIELDS = (
+    "kind",
+    "n",
+    "epochs",
+    "start",
+    "drift",
+    "radius",
+    "reach",
+    "arena",
+    "speed",
+    "seed",
+)
 
 
 @dataclass(frozen=True)
@@ -319,6 +364,82 @@ class MissionSpec:
     def epoch_seed(self, epoch: int) -> int:
         """The deployment/channel seed of one epoch."""
         return self.seed + epoch if self.epoch_seeds == "stride" else self.seed
+
+    def payload(self) -> dict:
+        """The JSON-safe identity of a declarative mission.
+
+        The wire form of the fleet-service submit protocol and the
+        artefact spec block: optional parts (cutoff, non-default
+        environment, adversary) appear only when set, so payloads stay
+        minimal and digests stable as fields grow.
+
+        Raises:
+            ExperimentError: for explicit trajectories (no declarative
+                description to serialise).
+        """
+        payload: dict = {
+            "trajectory": self.trajectory.payload(),
+            "t": self.t,
+            "seed": self.seed,
+            "epoch_seeds": self.epoch_seeds,
+            "protocol": self.protocol,
+        }
+        if self.connectivity_cutoff is not None:
+            payload["connectivity_cutoff"] = self.connectivity_cutoff
+        env = self.env.payload()
+        if env:
+            payload["env"] = env
+        if self.adversary is not None:
+            payload["adversary"] = self.adversary.payload()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MissionSpec":
+        """Rebuild (and validate) a mission from :meth:`payload` output.
+
+        Raises:
+            ExperimentError: on malformed payloads or an invalid spec.
+        """
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"a mission payload must be an object, got {payload!r}"
+            )
+        known = {
+            "trajectory",
+            "t",
+            "seed",
+            "epoch_seeds",
+            "protocol",
+            "connectivity_cutoff",
+            "env",
+            "adversary",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown mission payload fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        if "trajectory" not in payload:
+            raise ExperimentError('a mission payload needs a "trajectory" object')
+        cutoff = payload.get("connectivity_cutoff")
+        adversary = payload.get("adversary")
+        spec = cls(
+            trajectory=TrajectorySpec.from_payload(payload["trajectory"]),
+            t=int(payload.get("t", 0)),
+            connectivity_cutoff=None if cutoff is None else int(cutoff),
+            seed=int(payload.get("seed", 0)),
+            epoch_seeds=str(payload.get("epoch_seeds", "fixed")),
+            protocol=str(payload.get("protocol", "nectar")),
+            env=EnvironmentSpec.from_payload(payload.get("env") or {}),
+            adversary=(
+                None
+                if adversary is None
+                else AdversarySpec.from_payload(adversary)
+            ),
+        )
+        spec.validate()
+        return spec
 
 
 def _danger_level(verdict: Any) -> int:
@@ -638,30 +759,154 @@ class MissionResult:
         return None
 
 
+def _annotate(previous: EpochOutcome | None, outcome: EpochOutcome) -> EpochReport:
+    """One outcome as a transition-annotated report (vs its predecessor).
+
+    The single definition of ``changed``/``escalated`` shared by the
+    batch fold (:func:`_derive_reports`) and the streaming
+    :meth:`MissionSession.step`, so both paths annotate identically by
+    construction.
+    """
+    changed = previous is not None and _verdict_signature(
+        previous.verdict
+    ) != _verdict_signature(outcome.verdict)
+    escalated = previous is not None and outcome.danger > previous.danger
+    return EpochReport(
+        epoch=outcome.epoch,
+        verdict=outcome.verdict,
+        danger=outcome.danger,
+        changed=changed,
+        escalated=escalated,
+        mean_kb_sent=outcome.mean_kb_sent,
+        rounds_executed=outcome.rounds_executed,
+        partitionable=outcome.partitionable,
+        correct_cut=outcome.correct_cut,
+    )
+
+
 def _derive_reports(outcomes: Sequence[EpochOutcome]) -> tuple[EpochReport, ...]:
     """Fold raw outcomes into the transition-annotated verdict stream."""
     reports = []
     previous: EpochOutcome | None = None
     for outcome in outcomes:
-        changed = previous is not None and _verdict_signature(
-            previous.verdict
-        ) != _verdict_signature(outcome.verdict)
-        escalated = previous is not None and outcome.danger > previous.danger
-        reports.append(
-            EpochReport(
-                epoch=outcome.epoch,
-                verdict=outcome.verdict,
-                danger=outcome.danger,
-                changed=changed,
-                escalated=escalated,
-                mean_kb_sent=outcome.mean_kb_sent,
-                rounds_executed=outcome.rounds_executed,
-                partitionable=outcome.partitionable,
-                correct_cut=outcome.correct_cut,
-            )
-        )
+        reports.append(_annotate(previous, outcome))
         previous = outcome
     return tuple(reports)
+
+
+def topology_delta(graphs: Sequence[Graph], epoch: int) -> tuple[int, int]:
+    """``(added, removed)`` undirected edges of ``epoch`` vs its
+    predecessor.
+
+    Epoch 0 reports the initial topology as all-added — the delta a
+    live cluster applies when it first comes up.  Shared by the
+    streaming session and the batch event derivation so both report
+    identical deltas.
+    """
+    if not 0 <= epoch < len(graphs):
+        raise ExperimentError(
+            f"epoch {epoch} outside the trajectory (0..{len(graphs) - 1})"
+        )
+    current = graphs[epoch].edges()
+    if epoch == 0:
+        return (len(current), 0)
+    previous = graphs[epoch - 1].edges()
+    return (len(current - previous), len(previous - current))
+
+
+class MissionSession:
+    """Resumable epoch stepping: the batch loop factored into a cursor.
+
+    The streaming half of :func:`run_mission` (DESIGN.md §12): the same
+    trajectory build, the same sequential adversary placement pre-pass,
+    and the same :func:`_execute_epoch` per epoch — but advanced one
+    :meth:`step` at a time, so a long-lived service can interleave many
+    missions on one loop and emit each epoch's report as it lands.
+    Because epochs are independent pure tasks, the report stream is
+    bit-identical to the batch engine's for the same spec (pinned by
+    ``tests/test_service.py``).
+
+    With ``env.artifacts`` on, the trajectory is interned and every
+    epoch reuses the cached per-``(graph, scheme, seed)`` deployment —
+    topology evolution never re-signs an unchanged deployment, which
+    is what makes stepping cheap enough to multiplex.
+    """
+
+    def __init__(self, mission: MissionSpec, with_truth: bool = True) -> None:
+        mission.validate()
+        self.mission = mission
+        self.with_truth = with_truth
+        self.graphs = mission_graphs(mission)
+        if mission.adversary is not None:
+            # Sequential pre-pass, exactly as in run_mission: the
+            # adaptive policy reads epoch e-1's topology, so placements
+            # are fixed before any epoch executes.
+            self.placements = plan_placements(self.graphs, mission.adversary)
+        else:
+            self.placements = [frozenset()] * len(self.graphs)
+        self._previous: EpochOutcome | None = None
+        self._reports: list[EpochReport] = []
+
+    @property
+    def epoch(self) -> int:
+        """The next epoch to fly (== number of completed epochs)."""
+        return len(self._reports)
+
+    @property
+    def total_epochs(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def done(self) -> bool:
+        return self.epoch >= self.total_epochs
+
+    @property
+    def reports(self) -> tuple[EpochReport, ...]:
+        """The verdict stream completed so far."""
+        return tuple(self._reports)
+
+    def task(self, epoch: int) -> _EpochTask:
+        """One epoch's work unit (shared with the batch engine)."""
+        if not 0 <= epoch < self.total_epochs:
+            raise ExperimentError(
+                f"epoch {epoch} outside the mission (0..{self.total_epochs - 1})"
+            )
+        return _EpochTask(
+            mission=self.mission,
+            epoch=epoch,
+            graph=self.graphs[epoch],
+            with_truth=self.with_truth,
+            byzantine=self.placements[epoch],
+        )
+
+    def tasks(self) -> list[_EpochTask]:
+        """Every epoch's work unit, in epoch order (the batch plan)."""
+        return [self.task(epoch) for epoch in range(self.total_epochs)]
+
+    def topology_delta(self, epoch: int) -> tuple[int, int]:
+        """``(added, removed)`` edges this epoch applies in place."""
+        return topology_delta(self.graphs, epoch)
+
+    def step(self) -> EpochReport:
+        """Fly the next epoch and return its annotated report."""
+        if self.done:
+            raise ExperimentError(
+                f"mission is complete ({self.total_epochs} epochs flown)"
+            )
+        outcome = _execute_epoch(self.task(self.epoch))
+        report = _annotate(self._previous, outcome)
+        self._previous = outcome
+        self._reports.append(report)
+        return report
+
+    def result(self) -> MissionResult:
+        """The finished mission's result (requires :attr:`done`)."""
+        if not self.done:
+            raise ExperimentError(
+                f"mission still has {self.total_epochs - self.epoch} "
+                "epochs to fly"
+            )
+        return MissionResult(mission=self.mission, reports=tuple(self._reports))
 
 
 def run_mission(
@@ -685,27 +930,8 @@ def run_mission(
             partitionability (required for the temporal metrics; the
             legacy monitor path skips it).
     """
-    mission.validate()
-    graphs = mission_graphs(mission)
-    if mission.adversary is not None:
-        # Sequential pre-pass: the adaptive policy reads epoch e-1's
-        # topology, so placements are fixed before any epoch executes
-        # and the epoch tasks stay independent (bit-identical rows for
-        # any worker count).
-        placements = plan_placements(graphs, mission.adversary)
-    else:
-        placements = [frozenset()] * len(graphs)
-    tasks = [
-        _EpochTask(
-            mission=mission,
-            epoch=epoch,
-            graph=graph,
-            with_truth=with_truth,
-            byzantine=placements[epoch],
-        )
-        for epoch, graph in enumerate(graphs)
-    ]
-    outcomes = parallel_map(_execute_epoch, tasks, workers=workers)
+    session = MissionSession(mission, with_truth=with_truth)
+    outcomes = parallel_map(_execute_epoch, session.tasks(), workers=workers)
     return MissionResult(mission=mission, reports=_derive_reports(outcomes))
 
 
@@ -732,6 +958,26 @@ def clear_mission_memo() -> None:
     _MISSION_MEMO.clear()
 
 
+def cached_mission_result(mission: MissionSpec) -> MissionResult | None:
+    """The memoised result if this process already flew the mission."""
+    return _MISSION_MEMO.get(mission)
+
+
+def store_mission_result(mission: MissionSpec, result: MissionResult) -> None:
+    """Seed the memo with an externally-computed result.
+
+    The streaming paths (the CLI's flushing timeline, the fleet
+    service) step missions through :class:`MissionSession` rather than
+    :func:`mission_result`; storing their results keeps later memoised
+    asks (measure cells, a second timeline) free.  Results are a pure
+    function of the spec, so seeding can never change what the memo
+    would have computed.
+    """
+    if len(_MISSION_MEMO) >= _MISSION_MEMO_CAP:
+        _MISSION_MEMO.clear()
+    _MISSION_MEMO[mission] = result
+
+
 def mission_result(mission: MissionSpec) -> MissionResult:
     """The mission's result, served from the per-process memo.
 
@@ -744,10 +990,95 @@ def mission_result(mission: MissionSpec) -> MissionResult:
     if cached is not None:
         return cached
     result = run_mission(mission, workers=1)
-    if len(_MISSION_MEMO) >= _MISSION_MEMO_CAP:
-        _MISSION_MEMO.clear()
-    _MISSION_MEMO[mission] = result
+    store_mission_result(mission, result)
     return result
+
+
+def mission_digest(mission: MissionSpec) -> str:
+    """A stable content digest identifying one mission.
+
+    Declarative missions hash their :meth:`MissionSpec.payload`;
+    explicit trajectories (which have no payload) substitute the graph
+    digests, so every mission — submitted over the wire or built in
+    code — gets a stable identity for event streams and artefact ids.
+    """
+    trajectory = mission.trajectory
+    if trajectory.kind == "explicit":
+        # Borrow payload()'s field layout via a placeholder trajectory,
+        # then swap in the graph digests — keeps the two forms in sync
+        # as mission fields grow.
+        placeholder = replace(
+            mission,
+            trajectory=TrajectorySpec(
+                n=trajectory.n, epochs=trajectory.length
+            ),
+        )
+        payload = placeholder.payload()
+        payload["trajectory"] = {
+            "kind": "explicit",
+            "graphs": [graph.digest() for graph in trajectory.sequence],
+        }
+    else:
+        payload = mission.payload()
+    return artifact_key({"mission": payload})
+
+
+#: the series names of the per-mission verdict-stream artefact.
+MISSION_FIGURE_SERIES = (
+    "danger level",
+    "KB sent per node",
+    "ground-truth cut",
+)
+
+
+def mission_figure(result: MissionResult) -> FigureData:
+    """One mission's verdict stream as a diffable artefact.
+
+    One row per epoch per series — danger level, per-node traffic and
+    (when the mission ran with ground truth) the true cut indicator —
+    rendered identically by batch ``repro mission --mission-out`` and
+    the fleet service's submit ``artifact`` option, so ``repro diff``
+    can pin streamed ≡ batch end to end (the CI serve smoke does).
+    """
+    mission = result.mission
+    digest = mission_digest(mission)[:12]
+    figure = FigureData(
+        figure_id=f"mission-{digest}",
+        title=(
+            f"Mission verdict stream ({mission.protocol}, "
+            f"{result.epochs} epochs, trajectory={mission.trajectory.kind})"
+        ),
+        x_label="epoch",
+        y_label="danger level / KB per node",
+    )
+    danger = figure.series_named("danger level")
+    kb = figure.series_named("KB sent per node")
+    with_truth = bool(result.reports) and result.reports[0].partitionable is not None
+    truth = figure.series_named("ground-truth cut") if with_truth else None
+    for report in result.reports:
+        danger.add(report.epoch, [float(report.danger)])
+        kb.add(report.epoch, [report.mean_kb_sent])
+        if truth is not None:
+            truth.add(report.epoch, [1.0 if report.partitionable else 0.0])
+    figure.notes.append(
+        "one row per epoch; produced identically by batch "
+        "`repro mission --mission-out` and `repro serve` (DESIGN.md §12)"
+    )
+    return figure
+
+
+def write_mission_artifact(
+    result: MissionResult, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Persist :func:`mission_figure` as a ``repro diff``-able JSON file."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    mission = result.mission
+    spec = None
+    if mission.trajectory.kind != "explicit":
+        spec = {"mission": mission.payload()}
+    target.write_text(dump_figure_json(mission_figure(result), spec=spec))
+    return target
 
 
 @dataclass(frozen=True)
@@ -768,6 +1099,14 @@ class MissionCellSpec:
     @property
     def env(self) -> EnvironmentSpec:
         return self.mission.env
+
+    @property
+    def colocation_key(self) -> MissionSpec:
+        """Shard-planning hint: the measure series of one mission are
+        colocated on one worker (``parallel_map``'s ``colocate``), so
+        the per-process memo serves every series from a single flight
+        instead of re-flying the mission once per measure."""
+        return self.mission
 
     def with_env(
         self, env: EnvironmentSpec, fields: Sequence[str]
@@ -1150,17 +1489,25 @@ __all__ = [
     "EpochOutcome",
     "EpochReport",
     "MISSION_FIGURES",
+    "MISSION_FIGURE_SERIES",
     "MISSION_MEASURES",
     "MISSION_PROTOCOLS",
     "MissionCellSpec",
     "MissionResult",
+    "MissionSession",
     "MissionSpec",
     "NO_CUT_SENTINEL",
     "TRAJECTORY_KINDS",
     "TrajectorySpec",
+    "cached_mission_result",
     "clear_mission_memo",
+    "mission_digest",
+    "mission_figure",
     "mission_graphs",
     "mission_result",
     "run_epoch",
     "run_mission",
+    "store_mission_result",
+    "topology_delta",
+    "write_mission_artifact",
 ]

@@ -98,12 +98,51 @@ def will_shard(workers: int | None, item_count: int) -> bool:
     return min(resolve_workers(workers), item_count) > 1
 
 
+def _apply_chunk(payload: tuple) -> list:
+    """Run one colocated chunk in a single worker, in item order.
+
+    Module-level so the pool can pickle it; the chunk's items share the
+    worker's process-local state (memos, caches) by construction —
+    which is the entire point of colocation.
+    """
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+def _colocation_chunks(
+    sequence: Sequence, colocate: Callable[[object], object]
+) -> list[list[int]]:
+    """Partition item indices into shard chunks by colocation key.
+
+    Items whose key is ``None`` form singleton chunks (no colocation
+    request); items with equal keys share one chunk, ordered by first
+    appearance — so results can be reassembled into submission order
+    and a serial run visits items in an order any single chunk agrees
+    with.
+    """
+    chunks: list[list[int]] = []
+    by_key: dict[object, list[int]] = {}
+    for index, item in enumerate(sequence):
+        key = colocate(item)
+        if key is None:
+            chunks.append([index])
+            continue
+        group = by_key.get(key)
+        if group is None:
+            group = []
+            by_key[key] = group
+            chunks.append(group)
+        group.append(index)
+    return chunks
+
+
 def parallel_map(
     fn: Callable[[_Item], _Result],
     items: Iterable[_Item],
     workers: int | None = None,
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    colocate: Callable[[_Item], object] | None = None,
 ) -> list[_Result]:
     """Apply ``fn`` to every item, optionally across worker processes.
 
@@ -125,6 +164,14 @@ def parallel_map(
             respect to results: items may not depend on it having run.
         initargs: arguments for ``initializer`` (picklable under the
             ``spawn`` start method).
+        colocate: optional key function for shard planning: items with
+            equal non-``None`` keys are guaranteed to execute in one
+            worker process, in submission order (the mission sweeps use
+            this so the measure series of one mission hit a single
+            worker's memo instead of re-flying the mission per series).
+            ``None`` keys opt out.  Purely a placement hint — results
+            are bit-identical with or without it, because ``fn`` calls
+            stay self-contained.
     """
     sequence: Sequence[_Item] = list(items)
     if not will_shard(workers, len(sequence)):
@@ -134,6 +181,23 @@ def parallel_map(
     # start method (spawn) where fork is unavailable.
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    if colocate is not None:
+        chunks = _colocation_chunks(sequence, colocate)
+        if len(chunks) < len(sequence):
+            count = min(count, len(chunks))
+            payloads = [
+                (fn, [sequence[index] for index in chunk]) for chunk in chunks
+            ]
+            with context.Pool(
+                processes=count, initializer=initializer, initargs=initargs
+            ) as pool:
+                chunk_results = pool.map(_apply_chunk, payloads, chunksize=1)
+            results: list = [None] * len(sequence)
+            for chunk, values in zip(chunks, chunk_results):
+                for index, value in zip(chunk, values):
+                    results[index] = value
+            return results
+        # Every chunk is a singleton: plain per-item sharding below.
     with context.Pool(
         processes=count, initializer=initializer, initargs=initargs
     ) as pool:

@@ -617,6 +617,19 @@ def _warm_artifacts(cells: Sequence[object]) -> None:
             )
 
 
+def _cell_colocation_key(cell: object) -> object | None:
+    """The shard-planning key of one sweep cell.
+
+    Cells that expose a ``colocation_key`` (the mission cells — every
+    measure series of one mission shares its
+    :class:`~repro.experiments.mission.MissionSpec`) are placed on one
+    worker by ``parallel_map``, so the per-process mission memo serves
+    all series from a single flight.  Plain :class:`TrialSpec` cells
+    return ``None`` and shard item-by-item exactly as before.
+    """
+    return getattr(cell, "colocation_key", None)
+
+
 def execute_trial(spec: TrialSpec) -> float:
     """Execute one :class:`TrialSpec` and return its scalar measure.
 
@@ -2021,17 +2034,28 @@ class SweepEngine:
                     workers=workers,
                     initializer=install_artifacts,
                     initargs=(ARTIFACTS.snapshot(),),
+                    colocate=_cell_colocation_key,
                 )
                 values = []
                 for value, delta in outcomes:
                     ARTIFACTS.merge_delta(delta)
                     values.append(value)
             else:
-                values = parallel_map(execute_trial, cells, workers=workers)
+                values = parallel_map(
+                    execute_trial,
+                    cells,
+                    workers=workers,
+                    colocate=_cell_colocation_key,
+                )
             if store_path is not None:
                 ARTIFACTS.save(store_path)
         else:
-            values = parallel_map(execute_trial, cells, workers=workers)
+            values = parallel_map(
+                execute_trial,
+                cells,
+                workers=workers,
+                colocate=_cell_colocation_key,
+            )
         cursor = 0
         for group in plan.groups:
             samples = values[cursor : cursor + len(group.cells)]

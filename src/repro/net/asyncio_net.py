@@ -100,6 +100,7 @@ class AsyncCluster:
         self._graph = graph
         self._protocols = dict(protocols)
         self._profile = profile
+        self._channel_model = channel
         self._channel_state = channel.state(graph, seed)
         self._jitter_ms = channel.jitter_ms if jitter_ms is None else jitter_ms
         self._rng = random.Random(("async-jitter", seed).__repr__())
@@ -111,8 +112,69 @@ class AsyncCluster:
     # Public entry points
     # ------------------------------------------------------------------
     def run(self, rounds: int) -> dict[NodeId, Any]:
-        """Synchronous wrapper around :meth:`run_async`."""
-        return asyncio.run(self.run_async(rounds))
+        """Synchronous wrapper around :meth:`run_async`.
+
+        Raises:
+            ProtocolError: when called from inside a running event loop
+                — ``asyncio.run`` cannot nest.  Await :meth:`run_async`
+                there instead; the fleet service (DESIGN.md §12) steps
+                missions on worker threads for exactly this reason.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.run_async(rounds))
+        raise ProtocolError(
+            "AsyncCluster.run() cannot block inside a running event loop; "
+            "await run_async() instead (or step the cluster from a worker "
+            "thread, as the fleet service does)"
+        )
+
+    def update(
+        self,
+        graph: Graph,
+        protocols: Mapping[NodeId, RoundProtocol],
+        seed: int | None = None,
+    ) -> tuple[int, int]:
+        """Re-point the live cluster at a new epoch's topology in place.
+
+        The streaming alternative to constructing a fresh cluster per
+        epoch: directed channels are reconciled as a delta — queues of
+        surviving edges persist (they are always drained by the end of
+        a round, so no stale bytes can leak across epochs), removed
+        edges drop theirs, new edges get fresh ones — and the node set
+        is re-bound to the next epoch's protocol instances.  With
+        ``seed`` given, the channel state and jitter RNG are re-derived
+        exactly as ``__init__`` would, so an updated cluster is
+        behaviourally identical to a freshly-built one (pinned by
+        ``tests/test_asyncio_net.py``).
+
+        Returns:
+            ``(added, removed)`` directed-channel counts — the applied
+            delta, which the fleet service surfaces as ``EpochStarted``
+            event fields.
+
+        Raises:
+            ProtocolError: when ``protocols`` does not cover exactly
+                the new graph's nodes.
+        """
+        if set(protocols) != set(graph.nodes()):
+            raise ProtocolError("protocols must cover exactly the graph's nodes")
+        desired: set[tuple[NodeId, NodeId]] = set()
+        for u, neighbors in graph.iter_adjacency():
+            for v in neighbors:
+                desired.add((u, v))
+        current = set(self._channels)
+        for edge in current - desired:
+            del self._channels[edge]
+        for edge in desired - current:
+            self._channels[edge] = asyncio.Queue()
+        self._graph = graph
+        self._protocols = dict(protocols)
+        if seed is not None:
+            self._channel_state = self._channel_model.state(graph, seed)
+            self._rng = random.Random(("async-jitter", seed).__repr__())
+        return (len(desired - current), len(current - desired))
 
     async def run_async(self, rounds: int) -> dict[NodeId, Any]:
         """Execute ``rounds`` rounds; returns per-node verdicts."""
@@ -120,7 +182,10 @@ class AsyncCluster:
             raise ProtocolError("at least one round is required")
         for u, neighbors in self._graph.iter_adjacency():
             for v in neighbors:
-                self._channels[(u, v)] = asyncio.Queue()
+                # setdefault: queues installed by update() (or an
+                # earlier run on the same topology) persist — they are
+                # drained every round, so reuse is safe.
+                self._channels.setdefault((u, v), asyncio.Queue())
         barrier = asyncio.Barrier(self._graph.n)
         verdicts: dict[NodeId, Any] = {}
         tasks = [

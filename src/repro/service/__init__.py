@@ -1,0 +1,72 @@
+"""The fleet service: long-lived mission streaming (DESIGN.md §12).
+
+``repro serve`` boots a :class:`FleetService` — a registry of live
+:class:`~repro.experiments.mission.MissionSession` objects multiplexed
+on one event loop — and speaks the NDJSON protocol of
+:mod:`repro.service.protocol` over stdio or a unix socket.  Streamed
+verdicts are bit-identical to batch ``run_mission`` by construction;
+the typed event vocabulary lives in :mod:`repro.service.events` and is
+shared with the batch CLI's ``--events`` logs.
+"""
+
+from repro.service.events import (
+    EVENT_TYPES,
+    TERMINAL_EVENTS,
+    CutEmerged,
+    EpochCompleted,
+    EpochStarted,
+    EventLog,
+    MissionAccepted,
+    MissionCancelled,
+    MissionCompleted,
+    MissionEvent,
+    MissionFailed,
+    VerdictChanged,
+    event_from_payload,
+    event_payload,
+    mission_events,
+    read_event_log,
+)
+from repro.service.fleet import FleetService, Subscription
+from repro.service.protocol import handle_request, serve, serve_socket, serve_stdio
+from repro.service.scheduler import (
+    ACTIVE,
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    MISSION_STATES,
+    MissionRecord,
+    Scheduler,
+)
+
+__all__ = [
+    "ACTIVE",
+    "CANCELLED",
+    "COMPLETED",
+    "EVENT_TYPES",
+    "FAILED",
+    "FleetService",
+    "MISSION_STATES",
+    "CutEmerged",
+    "EpochCompleted",
+    "EpochStarted",
+    "EventLog",
+    "MissionAccepted",
+    "MissionCancelled",
+    "MissionCompleted",
+    "MissionEvent",
+    "MissionFailed",
+    "MissionRecord",
+    "Scheduler",
+    "Subscription",
+    "TERMINAL_EVENTS",
+    "VerdictChanged",
+    "event_from_payload",
+    "event_payload",
+    "handle_request",
+    "mission_events",
+    "read_event_log",
+    "serve",
+    "serve_socket",
+    "serve_stdio",
+]

@@ -1,0 +1,228 @@
+"""NDJSON request/event protocol for ``repro serve`` (DESIGN.md §12.4).
+
+One line per message, both directions.  Requests are objects with an
+``op`` key::
+
+    {"op": "submit", "mission": {...}, "label": "...", "artifact": "..."}
+    {"op": "status"} | {"op": "status", "mission_id": "m0001"}
+    {"op": "cancel", "mission_id": "m0001"}
+    {"op": "drain"}     # block until no mission is active
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Responses echo ``{"type": "response", "op": ..., "ok": true/false, ...}``;
+mission events from the firehose are interleaved on the same stream as
+``{"type": "event", "event": "EpochCompleted", ...}`` lines.  Keys are
+sorted in every emitted line, so transcripts are byte-stable.
+
+The transport is either stdio (``repro serve``) or a unix socket
+(``repro serve --socket PATH``).  Either way there is exactly one
+ticker: the driver task below.  The ``drain`` op therefore only *polls*
+``has_active`` — it never ticks itself — so interleaving stays a pure
+function of (submission order, scheduler seed), regardless of how many
+clients ask questions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import AsyncIterator, Awaitable, Callable
+
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.mission import MissionSpec
+from repro.service.events import event_payload
+from repro.service.fleet import FleetService
+
+#: polling cadence of the drain op (it never ticks; the driver does).
+_DRAIN_POLL_SECONDS = 0.01
+#: driver sleep while no mission is active.
+_IDLE_SLEEP_SECONDS = 0.02
+
+
+async def handle_request(service: FleetService, payload: object) -> dict:
+    """Execute one request object against the service.
+
+    Returns the JSON-ready response object.  Anything malformed becomes
+    an ``ok: false`` response rather than an exception — one bad client
+    line must not take the daemon down.
+    """
+    if not isinstance(payload, dict) or "op" not in payload:
+        return {
+            "type": "response",
+            "ok": False,
+            "error": 'a request must be an object with an "op" key',
+        }
+    op = payload["op"]
+    try:
+        if op == "submit":
+            mission = MissionSpec.from_payload(payload.get("mission"))
+            mission_id = service.submit(
+                mission,
+                label=str(payload.get("label", "")),
+                artifact=payload.get("artifact"),
+            )
+            return {
+                "type": "response",
+                "op": op,
+                "ok": True,
+                "mission_id": mission_id,
+            }
+        if op == "status":
+            return {
+                "type": "response",
+                "op": op,
+                "ok": True,
+                "status": service.status(payload.get("mission_id")),
+            }
+        if op == "cancel":
+            mission_id = payload.get("mission_id")
+            if not isinstance(mission_id, str):
+                raise ExperimentError('cancel requires a "mission_id" string')
+            return {
+                "type": "response",
+                "op": op,
+                "ok": True,
+                "cancelled": service.cancel(mission_id),
+            }
+        if op == "drain":
+            # Poll only — the serve() driver is the sole ticker, which
+            # keeps event interleaving independent of client chatter.
+            while service.has_active():
+                await asyncio.sleep(_DRAIN_POLL_SECONDS)
+            return {"type": "response", "op": op, "ok": True}
+        if op == "ping":
+            return {"type": "response", "op": op, "ok": True}
+        if op == "shutdown":
+            return {"type": "response", "op": op, "ok": True, "stop": True}
+        raise ExperimentError(f"unknown op {op!r}")
+    except ReproError as exc:
+        return {"type": "response", "op": op, "ok": False, "error": str(exc)}
+
+
+def _encode(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+async def serve(
+    service: FleetService,
+    lines: AsyncIterator[str],
+    write: Callable[[str], Awaitable[None]],
+    on_eof: str = "drain",
+) -> None:
+    """Run the full protocol loop over one line stream.
+
+    Three concurrent concerns on one loop:
+
+    * the **driver** — the only place :meth:`FleetService.tick` is
+      called; idles cheaply when no mission is active;
+    * the **firehose pump** — forwards every service event to ``write``;
+    * the **request loop** — reads ``lines`` until EOF or a shutdown
+      op.
+
+    ``on_eof`` decides what EOF means: ``"drain"`` (default) finishes
+    every in-flight mission before exiting — so piping a batch of
+    submit lines in behaves like a job queue — while ``"stop"`` shuts
+    down immediately.
+    """
+    if on_eof not in ("drain", "stop"):
+        raise ExperimentError(f'on_eof must be "drain" or "stop", got {on_eof!r}')
+    stopping = asyncio.Event()
+
+    async def driver() -> None:
+        while not stopping.is_set():
+            if service.has_active():
+                await service.tick()
+            else:
+                await asyncio.sleep(_IDLE_SLEEP_SECONDS)
+
+    firehose = service.subscribe()
+
+    async def pump() -> None:
+        async for event in firehose:
+            await write(_encode({"type": "event", **event_payload(event)}))
+
+    driver_task = asyncio.create_task(driver())
+    pump_task = asyncio.create_task(pump())
+    try:
+        async for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await write(
+                    _encode(
+                        {"type": "response", "ok": False, "error": f"bad JSON: {exc}"}
+                    )
+                )
+                continue
+            response = await handle_request(service, payload)
+            await write(_encode(response))
+            if response.get("stop"):
+                return
+        if on_eof == "drain":
+            while service.has_active():
+                await asyncio.sleep(_DRAIN_POLL_SECONDS)
+    finally:
+        stopping.set()
+        await driver_task
+        service.shutdown()  # closes the firehose; the pump then ends
+        await pump_task
+
+
+async def serve_stdio(service: FleetService, on_eof: str = "drain") -> None:
+    """The protocol loop over this process's stdin/stdout."""
+    loop = asyncio.get_running_loop()
+
+    async def lines() -> AsyncIterator[str]:
+        while True:
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                return  # EOF
+            yield line
+
+    async def write(text: str) -> None:
+        sys.stdout.write(text + "\n")
+        sys.stdout.flush()
+
+    await serve(service, lines(), write, on_eof=on_eof)
+
+
+async def serve_socket(service: FleetService, path: str) -> None:
+    """The protocol loop over a unix socket, for one client session.
+
+    The connection gets the full protocol (requests + firehose); the
+    daemon exits when the client disconnects or sends
+    ``{"op": "shutdown"}``.
+    """
+    done = asyncio.Event()
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        async def lines() -> AsyncIterator[str]:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    return
+                yield raw.decode("utf-8")
+
+        async def write(text: str) -> None:
+            writer.write(text.encode("utf-8") + b"\n")
+            await writer.drain()
+
+        try:
+            await serve(service, lines(), write, on_eof="stop")
+        finally:
+            writer.close()
+            done.set()
+
+    server = await asyncio.start_unix_server(handle, path=path)
+    async with server:
+        await done.wait()
+
+
+__all__ = ["handle_request", "serve", "serve_socket", "serve_stdio"]

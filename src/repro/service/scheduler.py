@@ -1,0 +1,143 @@
+"""Epoch-cadence scheduling for the fleet service (DESIGN.md §12.3).
+
+The :class:`Scheduler` owns the mission registry's execution order: a
+round-robin queue over live missions, from which each service tick
+selects a bounded window (``limit`` = the service's concurrency bound).
+Fairness is structural — selected missions rotate to the back of the
+queue, so no mission can starve another regardless of length — and the
+optional seeded shuffle perturbs only the order *within* one tick's
+window, keeping multi-mission interleavings reproducible run to run
+(``seed`` is part of the service configuration, pinned by
+``tests/test_service.py``).
+
+Determinism matters here for the same reason it does everywhere else in
+this repo: the service's firehose event order is a function of
+(submission order, scheduler seed, tick count) and nothing else — no
+wall clock, no thread races — so an interleaved streaming run can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.experiments.mission import MissionResult, MissionSession
+
+#: mission lifecycle states.
+ACTIVE = "active"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+MISSION_STATES = (ACTIVE, COMPLETED, CANCELLED, FAILED)
+
+
+@dataclass
+class MissionRecord:
+    """One live (or finished) mission in the service registry."""
+
+    mission_id: str
+    session: MissionSession
+    label: str = ""
+    #: optional path: on completion, the service writes the mission's
+    #: verdict-stream artefact there (``repro diff``-able vs batch).
+    artifact: str | None = None
+    state: str = ACTIVE
+    error: str = ""
+    #: whether ground truth has reported a cut so far (gates the
+    #: one-shot ``CutEmerged`` event).
+    cut_emerged: bool = False
+    #: events dropped for this mission by slow subscribers.
+    events_shed: int = 0
+    result: MissionResult | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.state != ACTIVE
+
+
+class Scheduler:
+    """Fair, deterministic tick-window selection over live missions.
+
+    Args:
+        seed: window-shuffle seed; ``None`` disables the shuffle and
+            the window is pure round-robin order.
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._queue: deque[str] = deque()
+        self._records: dict[str, MissionRecord] = {}
+        self._rng = (
+            None
+            if seed is None
+            else random.Random(("fleet-scheduler", seed).__repr__())
+        )
+        #: completed select() calls (the service's tick counter).
+        self.ticks = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, mission_id: str) -> bool:
+        return mission_id in self._records
+
+    def get(self, mission_id: str) -> MissionRecord | None:
+        return self._records.get(mission_id)
+
+    def records(self) -> Iterator[MissionRecord]:
+        """Every record, in submission order."""
+        return iter(self._records.values())
+
+    def add(self, record: MissionRecord) -> None:
+        """Register a mission at the back of the round-robin queue."""
+        self._records[record.mission_id] = record
+        self._queue.append(record.mission_id)
+
+    def has_active(self) -> bool:
+        return any(record.state == ACTIVE for record in self._records.values())
+
+    def active_count(self) -> int:
+        return sum(
+            1 for record in self._records.values() if record.state == ACTIVE
+        )
+
+    def select(self, limit: int) -> list[MissionRecord]:
+        """The next tick's window: up to ``limit`` active missions.
+
+        Round-robin: selected missions rotate to the back; finished
+        missions are lazily dropped from the queue as they surface.
+        With a seeded RNG the window's internal order is shuffled —
+        deterministically, because the RNG state advances only with
+        selections, never with time.
+        """
+        if limit < 1:
+            raise ValueError(f"tick window must be >= 1, got {limit}")
+        self.ticks += 1
+        window: list[MissionRecord] = []
+        scanned = 0
+        budget = len(self._queue)
+        while self._queue and len(window) < limit and scanned < budget:
+            mission_id = self._queue.popleft()
+            scanned += 1
+            record = self._records[mission_id]
+            if record.state != ACTIVE:
+                continue  # drop finished missions from the rotation
+            window.append(record)
+            self._queue.append(mission_id)
+        if self._rng is not None and len(window) > 1:
+            self._rng.shuffle(window)
+        return window
+
+
+__all__ = [
+    "ACTIVE",
+    "CANCELLED",
+    "COMPLETED",
+    "FAILED",
+    "MISSION_STATES",
+    "MissionRecord",
+    "Scheduler",
+]

@@ -371,3 +371,73 @@ class TestParser:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMissionStreamingFlags:
+    """--events / --mission-out / --mission-spec on repro mission."""
+
+    ARGS = [
+        "mission",
+        "partition-detection",
+        "--set",
+        "trials=2",
+        "--set",
+        "epochs=4",
+        "--set",
+        "drifts=1.0",
+    ]
+
+    def test_events_mission_out_and_spec(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        artefact = tmp_path / "mission.json"
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            self.ARGS
+            + [
+                "--events",
+                str(events_path),
+                "--mission-out",
+                str(artefact),
+                "--mission-spec",
+                str(spec_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events:" in out and "mission artefact:" in out
+
+        from repro.experiments.mission import MissionSpec, mission_digest
+        from repro.service.events import (
+            MissionAccepted,
+            MissionCompleted,
+            read_event_log,
+        )
+
+        events = read_event_log(events_path)
+        assert isinstance(events[0], MissionAccepted)
+        assert isinstance(events[-1], MissionCompleted)
+        assert events[0].label == "partition-detection"
+
+        spec_payload = json.loads(spec_path.read_text())
+        mission = MissionSpec.from_payload(spec_payload["mission"])
+        # The spec file, the event stream and the artefact all name the
+        # same mission.
+        assert events[0].digest == mission_digest(mission)
+        artefact_payload = json.loads(artefact.read_text())
+        assert artefact_payload["figure_id"] == f"mission-{mission_digest(mission)[:12]}"
+
+    def test_timeline_streams_epoch_lines(self, capsys):
+        code = main(self.ARGS + ["--timeline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert out.count("epoch ") >= 4
+        assert "emergence=" in out
+
+
+class TestServeParser:
+    def test_serve_is_registered(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--socket" in out and "--queue-limit" in out and "--on-eof" in out

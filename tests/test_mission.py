@@ -483,3 +483,164 @@ class TestMissionCli:
         )
         assert code == 0
         assert "detection latency" in capsys.readouterr().out
+
+
+class TestMissionCodec:
+    """payload()/from_payload(): the serve protocol's wire form."""
+
+    def test_minimal_round_trip(self):
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        from repro.experiments.mission import MissionSpec as MS
+
+        assert MS.from_payload(spec.payload()) == spec
+
+    def test_full_round_trip(self):
+        from repro.adversary.campaign import AdversarySpec
+        from repro.experiments.mission import MissionSpec as MS
+
+        spec = MissionSpec(
+            trajectory=SCATTERS,
+            t=2,
+            connectivity_cutoff=3,
+            seed=9,
+            epoch_seeds="stride",
+            protocol="nectar",
+            env=EnvironmentSpec(loss_rate=0.1),
+            adversary=AdversarySpec(profile="deceptive", count=2, seed=4),
+        )
+        assert MS.from_payload(spec.payload()) == spec
+
+    def test_round_trip_survives_json(self):
+        from repro.experiments.mission import MissionSpec as MS
+
+        spec = MissionSpec(trajectory=SCATTERS, t=1, seed=5)
+        assert MS.from_payload(json.loads(json.dumps(spec.payload()))) == spec
+
+    def test_unknown_mission_field_rejected(self):
+        from repro.experiments.mission import MissionSpec as MS
+
+        payload = MissionSpec(trajectory=SCATTERS, t=1).payload()
+        payload["warp"] = 9
+        with pytest.raises(ExperimentError):
+            MS.from_payload(payload)
+
+    def test_unknown_trajectory_field_rejected(self):
+        payload = SCATTERS.payload()
+        payload["hyperdrive"] = True
+        with pytest.raises(ExperimentError):
+            TrajectorySpec.from_payload(payload)
+
+    def test_invalid_payloads_rejected(self):
+        from repro.experiments.mission import MissionSpec as MS
+
+        with pytest.raises(ExperimentError):
+            MS.from_payload("not an object")
+        with pytest.raises(ExperimentError):
+            MS.from_payload({"t": 1})  # no trajectory
+        with pytest.raises(ExperimentError):
+            MS.from_payload(
+                {"trajectory": SCATTERS.payload(), "t": -1}
+            )  # fails validate()
+
+    def test_explicit_trajectories_have_no_wire_form(self):
+        explicit = TrajectorySpec.explicit(drifting_fleet())
+        spec = MissionSpec(trajectory=explicit, t=1)
+        with pytest.raises(ExperimentError):
+            spec.payload()
+
+
+class TestMissionDigest:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        from repro.experiments.mission import mission_digest
+
+        a = MissionSpec(trajectory=SCATTERS, t=2)
+        assert mission_digest(a) == mission_digest(a)
+        assert mission_digest(a) != mission_digest(
+            MissionSpec(trajectory=SCATTERS, t=2, seed=1)
+        )
+
+    def test_explicit_trajectories_digest_by_graph_content(self):
+        from repro.experiments.mission import mission_digest
+
+        fleet = drifting_fleet()
+        a = MissionSpec(trajectory=TrajectorySpec.explicit(fleet), t=1)
+        b = MissionSpec(trajectory=TrajectorySpec.explicit(list(fleet)), t=1)
+        assert mission_digest(a) == mission_digest(b)
+        shorter = MissionSpec(
+            trajectory=TrajectorySpec.explicit(fleet[:-1]), t=1
+        )
+        assert mission_digest(a) != mission_digest(shorter)
+
+
+class TestMissionSession:
+    def test_progression(self):
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        from repro.experiments.mission import MissionSession
+
+        session = MissionSession(spec)
+        assert (session.epoch, session.total_epochs) == (0, 7)
+        assert not session.done
+        first = session.step()
+        assert first.epoch == 0 and session.epoch == 1
+        assert len(session.reports) == 1
+
+    def test_topology_delta_epoch_zero_is_the_full_edge_set(self):
+        from repro.experiments.mission import MissionSession, topology_delta
+
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        session = MissionSession(spec)
+        added, removed = session.topology_delta(0)
+        assert removed == 0
+        assert added == len(session.graphs[0].edges())
+        assert session.topology_delta(1) == topology_delta(session.graphs, 1)
+
+
+class TestMissionFigure:
+    def test_figure_series_and_id(self):
+        from repro.experiments.mission import (
+            MISSION_FIGURE_SERIES,
+            mission_digest,
+            mission_figure,
+        )
+
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        result = run_mission(spec)
+        figure = mission_figure(result)
+        assert figure.figure_id == f"mission-{mission_digest(spec)[:12]}"
+        assert tuple(s.name for s in figure.series) == MISSION_FIGURE_SERIES
+        danger = figure.series_named("danger level")
+        assert [point.x for point in danger.points] == list(range(7))
+
+    def test_truth_series_absent_without_ground_truth(self):
+        from repro.experiments.mission import mission_figure
+
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        result = run_mission(spec, with_truth=False)
+        names = [s.name for s in mission_figure(result).series]
+        assert "ground-truth cut" not in names
+
+    def test_artifact_round_trips_through_diff(self, tmp_path):
+        from repro.experiments.diff import diff_artefacts
+        from repro.experiments.mission import write_mission_artifact
+
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        result = run_mission(spec)
+        a = write_mission_artifact(result, tmp_path / "a.json")
+        b = write_mission_artifact(result, tmp_path / "b.json")
+        assert not diff_artefacts(a, b).diverged
+
+
+class TestMissionMemoAccessors:
+    def test_cached_and_store(self):
+        from repro.experiments.mission import (
+            cached_mission_result,
+            store_mission_result,
+        )
+
+        spec = MissionSpec(trajectory=SCATTERS, t=2)
+        assert cached_mission_result(spec) is None
+        result = run_mission(spec)
+        store_mission_result(spec, result)
+        assert cached_mission_result(spec) == result
+        clear_mission_memo()
+        assert cached_mission_result(spec) is None

@@ -114,3 +114,61 @@ class TestSweepEquivalence:
         serial = fig3_regular_cost(ns=(8, 10), ks=(2,))
         monkeypatch.setenv(WORKERS_ENV, "2")
         assert fig3_regular_cost(ns=(8, 10), ks=(2,)) == serial
+
+
+def _pid_cell(item):
+    """A cell that reports which worker process ran it."""
+    import os
+
+    return (os.getpid(), item)
+
+
+def _parity_key(item):
+    return item % 2
+
+
+def _no_key(item):
+    return None
+
+
+class TestColocation:
+    """``colocate`` is a placement hint: equal keys share one worker,
+    results are bit-identical either way (the mission sweeps rely on
+    this to hit one worker's memo with all of a mission's series)."""
+
+    def test_chunks_group_by_key_in_first_appearance_order(self):
+        from repro.experiments.parallel import _colocation_chunks
+
+        keys = ["a", None, "a", "b", None, "b"]
+        chunks = _colocation_chunks(keys, lambda item: item)
+        assert chunks == [[0, 2], [1], [3, 5], [4]]
+
+    def test_equal_keys_share_a_worker(self):
+        results = parallel_map(
+            _pid_cell, list(range(6)), workers=3, colocate=_parity_key
+        )
+        assert [item for _, item in results] == list(range(6))
+        pids_by_key = {}
+        for pid, item in results:
+            pids_by_key.setdefault(_parity_key(item), set()).add(pid)
+        assert all(len(pids) == 1 for pids in pids_by_key.values())
+
+    def test_results_identical_with_and_without_colocation(self):
+        items = [(seed, 1.5) for seed in range(8)]
+        plain = parallel_map(_seeded_cell, items, workers=2)
+        colocated = parallel_map(
+            _seeded_cell, items, workers=2, colocate=lambda item: item[0] % 3
+        )
+        assert colocated == plain == [_seeded_cell(item) for item in items]
+
+    def test_all_none_keys_fall_back_to_plain_sharding(self):
+        items = list(range(5))
+        assert parallel_map(
+            _identity_cell, items, workers=2, colocate=_no_key
+        ) == items
+
+    def test_serial_path_ignores_colocation(self):
+        items = list(range(4))
+        assert parallel_map(
+            _identity_cell, items, workers=1, colocate=_parity_key
+        ) == items
