@@ -12,6 +12,9 @@ The subcommands cover the everyday uses of the library::
     python -m repro mission mtg-vs-nectar-detection --set env.bandwidth=2 --set env.channel=budgeted
     python -m repro mission detection-under-deception --events out/events.jsonl --mission-out out/mission.json
     python -m repro serve --events out/serve.jsonl < submit-lines.ndjson
+    python -m repro sweep fig3 --backend queue --queue /shared/q
+    python -m repro fabric worker --queue /shared/q --once
+    python -m repro fabric status --queue /shared/q
     python -m repro bench --smoke --compare benchmarks/baselines
     python -m repro diff out/fig3-abc.json out/fig3-def.json
     python -m repro diff out-baseline/ out-candidate/
@@ -32,7 +35,11 @@ verdict timeline (``--timeline`` streams, ``--events`` logs the typed
 event schema shared with the daemon).  ``serve`` boots the long-lived
 fleet daemon (DESIGN.md §12): missions submitted as NDJSON lines are
 multiplexed on one event loop and streamed back as typed epoch
-events, bit-identical to their batch runs.  ``bench`` runs the registered perf
+events, bit-identical to their batch runs.  ``sweep --backend queue``
+runs the same sweep through the distributed fabric (DESIGN.md §13): a
+durable filesystem work queue shared with ``fabric worker``
+processes, resumable after any interruption and row-identical to the
+local path; ``fabric status`` inspects it.  ``bench`` runs the registered perf
 scenarios headlessly and emits ``BENCH_*.json`` ledgers (wall times,
 speedups, cache hit rates), optionally comparing them against
 committed baselines (exit 1 on regression).  ``diff`` compares two
@@ -52,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Sequence
@@ -85,6 +93,14 @@ from repro.experiments.spec import (
     ResolvedSweep,
     attack_rates,
     environment_axis_names,
+)
+from repro.fabric import (
+    FabricQueue,
+    QUEUE_ENV,
+    QueueUnreachable,
+    job_id_of,
+    run_sweep_via_queue,
+    run_worker,
 )
 from repro.graphs.analysis import summarize
 from repro.graphs.generators.drone import drone_graph
@@ -224,6 +240,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="base seed for --seed-mode hashed (default 0)",
     )
+    sweep.add_argument(
+        "--backend",
+        choices=("local", "queue"),
+        default="local",
+        help=(
+            "execution backend: local (in-process, default) or queue "
+            "(the durable fabric queue, DESIGN.md §13 — resumable, "
+            "shared with repro fabric worker processes)"
+        ),
+    )
+    sweep.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=(
+            "fabric queue directory for --backend queue (default: the "
+            f"{QUEUE_ENV} env var)"
+        ),
+    )
     _add_sweep_options(sweep)
 
     mission = commands.add_parser(
@@ -346,6 +381,76 @@ def _build_parser() -> argparse.ArgumentParser:
             "stdio mode: on stdin EOF, finish in-flight missions (drain, "
             "the default) or shut down immediately (stop)"
         ),
+    )
+
+    fabric = commands.add_parser(
+        "fabric",
+        help=(
+            "distributed sweep fabric (DESIGN.md §13): run a worker "
+            "against a queue directory, or inspect its jobs"
+        ),
+    )
+    fabric_commands = fabric.add_subparsers(dest="fabric_command", required=True)
+    fabric_worker = fabric_commands.add_parser(
+        "worker",
+        help=(
+            "claim and execute shards from the queue until drained "
+            "(scale-out = start more of these; killing one is safe)"
+        ),
+    )
+    fabric_worker.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=f"queue directory (default: the {QUEUE_ENV} env var)",
+    )
+    fabric_worker.add_argument(
+        "--worker-id",
+        metavar="ID",
+        default=None,
+        help="lease/journal identity (default: host+pid derived)",
+    )
+    fabric_worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after one pass finds nothing claimable (CI drain mode)",
+    )
+    fabric_worker.add_argument(
+        "--poll-ms",
+        type=float,
+        default=200.0,
+        metavar="MS",
+        help="idle poll interval in milliseconds (default 200)",
+    )
+    fabric_worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this many seconds without claiming anything",
+    )
+    fabric_worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after executing N shards (bounded-worker test mode)",
+    )
+    fabric_status = fabric_commands.add_parser(
+        "status",
+        help="print per-job shard progress for a queue directory",
+    )
+    fabric_status.add_argument(
+        "job",
+        nargs="?",
+        default=None,
+        help="job id to inspect (default: every job in the queue)",
+    )
+    fabric_status.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=f"queue directory (default: the {QUEUE_ENV} env var)",
     )
 
     bench = commands.add_parser(
@@ -632,6 +737,21 @@ def _list_sweeps() -> int:
     return 0
 
 
+def _print_fabric_interrupt(queue_root, resolved: ResolvedSweep) -> None:
+    """The resumability hint behind ^C on a queue-backed sweep."""
+    job_id = job_id_of(resolved)
+    line = f"interrupted: fabric job {job_id}"
+    try:
+        status = FabricQueue(queue_root).status(job_id)
+    except ExperimentError:
+        status = None
+    if status is not None:
+        line += f" — {status.completed}/{status.total} shard(s) complete"
+    print()
+    print(line)
+    print("rerun the same command to resume; completed shards are kept")
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.list:
         return _list_sweeps()
@@ -669,9 +789,48 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print(f"sweep : {name} ({resolved.scale} scale, seeds={resolved.seed_mode})")
     print(f"spec  : {spec_digest(resolved.payload())[:12]}")
-    figure = SWEEP_ENGINE.run(
-        resolved, workers=args.workers, artifact_store=args.artifact_store
-    )
+    if args.backend == "queue":
+        queue_root = args.queue or os.environ.get(QUEUE_ENV)
+        if not queue_root:
+            raise ExperimentError(
+                "--backend queue needs a queue directory: pass --queue DIR "
+                f"or set {QUEUE_ENV}"
+            )
+        if args.workers:
+            print(
+                "note  : --workers is a local-backend option; queue "
+                "parallelism comes from repro fabric worker processes"
+            )
+        try:
+            run = run_sweep_via_queue(
+                resolved, queue_root, artifact_store=args.artifact_store
+            )
+        except QueueUnreachable as exc:
+            # The headline degraded-mode contract: an unreachable queue
+            # must never fail a sweep the local path could run (§13.4).
+            print(f"warning: queue unreachable ({exc})")
+            print("warning: degrading to local serial execution")
+            figure = SWEEP_ENGINE.run(
+                resolved, workers=args.workers, artifact_store=args.artifact_store
+            )
+        except KeyboardInterrupt:
+            _print_fabric_interrupt(queue_root, resolved)
+            return 130
+        else:
+            print(run.describe())
+            figure = run.figure
+    else:
+        try:
+            figure = SWEEP_ENGINE.run(
+                resolved, workers=args.workers, artifact_store=args.artifact_store
+            )
+        except KeyboardInterrupt:
+            print()
+            print(
+                "interrupted: local-backend progress is lost; rerun with "
+                "--backend queue --queue DIR for a resumable sweep"
+            )
+            return 130
     _render_figure(figure)
     metadata = _report_artifacts()
     if args.out:
@@ -960,6 +1119,37 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fabric(args: argparse.Namespace) -> int:
+    queue_root = args.queue or os.environ.get(QUEUE_ENV)
+    if not queue_root:
+        raise ExperimentError(
+            f"pass --queue DIR or set {QUEUE_ENV} to name the queue directory"
+        )
+    if args.fabric_command == "worker":
+        stats = run_worker(
+            queue_root,
+            worker_id=args.worker_id,
+            once=args.once,
+            poll=args.poll_ms / 1000.0,
+            idle_timeout=args.idle_timeout,
+            max_shards=args.max_shards,
+        )
+        print(stats.describe())
+        return 0
+    queue = FabricQueue(queue_root)
+    queue.connect(create=False)
+    if args.job is not None:
+        status = queue.status(args.job)
+        if status is None:
+            print(f"error: no job {args.job!r} in {queue_root}")
+            return 2
+        print(f"queue : {queue.root}")
+        print(f"  {status.describe()}")
+        return 0
+    print(queue.describe())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -969,6 +1159,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _run_sweep,
         "mission": _run_mission_cmd,
         "serve": _run_serve,
+        "fabric": _run_fabric,
         "bench": _run_bench,
         "diff": _run_diff,
         "map": _run_map,

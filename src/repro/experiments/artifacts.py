@@ -69,7 +69,7 @@ from typing import Callable, Iterable, TypeVar
 from repro.crypto import scheme_fingerprint
 from repro.crypto.keys import KeyStore
 from repro.crypto.signer import SignatureScheme
-from repro.experiments.persistence import spec_digest
+from repro.experiments.persistence import atomic_write_bytes, spec_digest
 from repro.graphs.graph import Graph
 
 _Artifact = TypeVar("_Artifact")
@@ -422,11 +422,17 @@ class ArtifactCache:
             self._reset_delta()
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Persist a snapshot (the opt-in on-disk layer)."""
+        """Persist a snapshot (the opt-in on-disk layer).
+
+        Written atomically (write-temp + rename): a writer killed
+        mid-save leaves the previous snapshot intact instead of a
+        truncated pickle, so concurrent readers — fabric workers adopt
+        these snapshots as warm state, DESIGN.md §13 — never observe a
+        partial file.
+        """
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(pickle.dumps(self.snapshot()))
-        return path
+        return atomic_write_bytes(path, pickle.dumps(self.snapshot()))
 
     def load(self, path: str | pathlib.Path) -> bool:
         """Adopt a snapshot from disk; False when absent or unreadable.

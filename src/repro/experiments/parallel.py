@@ -109,7 +109,7 @@ def _apply_chunk(payload: tuple) -> list:
     return [fn(item) for item in chunk]
 
 
-def _colocation_chunks(
+def colocation_chunks(
     sequence: Sequence, colocate: Callable[[object], object]
 ) -> list[list[int]]:
     """Partition item indices into shard chunks by colocation key.
@@ -119,6 +119,12 @@ def _colocation_chunks(
     appearance — so results can be reassembled into submission order
     and a serial run visits items in an order any single chunk agrees
     with.
+
+    Shared shard-planning logic: the in-process pool below and the
+    distributed sweep fabric (:mod:`repro.fabric`, DESIGN.md §13) both
+    plan their work units through this function, so a mission's measure
+    cells land on one worker — one process-local memo — on either
+    execution substrate.
     """
     chunks: list[list[int]] = []
     by_key: dict[object, list[int]] = {}
@@ -182,7 +188,7 @@ def parallel_map(
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
     if colocate is not None:
-        chunks = _colocation_chunks(sequence, colocate)
+        chunks = colocation_chunks(sequence, colocate)
         if len(chunks) < len(sequence):
             count = min(count, len(chunks))
             payloads = [

@@ -20,12 +20,40 @@ import csv
 import hashlib
 import io
 import json
+import os
 import pathlib
 
 from repro.errors import ExperimentError
 from repro.experiments.report import FigureData, Point, Series
 
 _SCHEMA_VERSION = 1
+
+
+def atomic_write_bytes(path: str | pathlib.Path, data: bytes) -> pathlib.Path:
+    """Write ``data`` to ``path`` via write-temp + rename.
+
+    ``os.replace`` is atomic on POSIX, so a reader (or a resume scanning
+    for completed artefacts) either sees the previous complete file or
+    the new complete file — never a truncated one, even if the writer is
+    SIGKILLed mid-write.  The temp file lives next to the target (same
+    filesystem, so the rename cannot degrade to a copy) and is named by
+    pid so concurrent writers of the same artefact never collide; equal
+    content makes the last-rename-wins race harmless.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_bytes(data)
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Text variant of :func:`atomic_write_bytes` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode())
 
 
 def canonical_spec_json(spec: dict) -> str:
@@ -195,8 +223,7 @@ def save_figure(
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / figure_file_name(figure, spec=spec)
-    path.write_text(dump_figure_json(figure, spec=spec, metadata=metadata))
-    return path
+    return atomic_write_text(path, dump_figure_json(figure, spec=spec, metadata=metadata))
 
 
 def dump_figure_csv(figure: FigureData) -> str:

@@ -1876,6 +1876,22 @@ FIGURE_SPECS: dict[str, SweepSpec] = {
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+def artifact_store_path(
+    resolved: "ResolvedSweep", artifact_store: str | pathlib.Path
+) -> pathlib.Path:
+    """The on-disk artifact snapshot path for one resolved sweep.
+
+    One convention shared by every execution substrate (the in-process
+    engine and the fabric client), so a warm snapshot written by a
+    local ``--artifact-store`` run is found by a queue-backed run of
+    the same resolved spec, and vice versa.
+    """
+    return pathlib.Path(artifact_store) / (
+        f"artifacts-{resolved.spec.figure_id}-"
+        f"{spec_digest(resolved.payload())[:12]}.pkl"
+    )
+
+
 class SweepEngine:
     """Resolve, execute and assemble declarative sweeps.
 
@@ -1944,6 +1960,48 @@ class SweepEngine:
         params["_base_seed"] = resolved.base_seed
         return builder(params)
 
+    def prepare(self, resolved: ResolvedSweep) -> tuple[FigurePlan, list]:
+        """The plan plus its flat, env-applied cell list.
+
+        Everything an execution substrate needs: the ordered cells are
+        exactly what :meth:`run` would execute (sweep-wide ``env.*``
+        overrides already applied), and :meth:`assemble` folds the
+        resulting values — one per cell, in the same order — back into
+        the plan's figure.  ``run()`` is ``prepare`` → execute →
+        ``assemble``; the distributed fabric client (:mod:`repro.fabric`,
+        DESIGN.md §13) substitutes its queue for the execute step and is
+        row-identical by construction because both ends are shared.
+        """
+        plan = self.plan(resolved)
+        cells = [cell for group in plan.groups for cell in group.cells]
+        if resolved.env_fields:
+            # Sweep-wide env.* overrides: apply exactly the fields the
+            # user named, so cells that already carry a non-default
+            # environment (the off-model scenarios) keep their channel
+            # parameters — and an explicit default (env.loss_rate=0.0)
+            # really does reset them.
+            cells = [
+                cell.with_env(resolved.env, resolved.env_fields)
+                for cell in cells
+            ]
+        return plan, cells
+
+    def assemble(self, plan: FigurePlan, values: Sequence[float]) -> FigureData:
+        """Fold per-cell values (in :meth:`prepare` cell order) into the figure."""
+        cursor = 0
+        for group in plan.groups:
+            samples = list(values[cursor : cursor + len(group.cells)])
+            cursor += len(group.cells)
+            if group.drop_value is not None:
+                samples = [s for s in samples if s != group.drop_value]
+                if not samples:  # measure undefined for every draw
+                    plan.figure.series_named(group.series)
+                    continue
+            plan.figure.series_named(group.series).add(group.x, samples)
+        if plan.finalize is not None:
+            plan.finalize(plan.figure)
+        return plan.figure
+
     def run(
         self,
         spec: SweepSpec | str | ResolvedSweep,
@@ -2001,26 +2059,12 @@ class SweepEngine:
                 seed_mode=seed_mode,
                 base_seed=base_seed,
             )
-        plan = self.plan(resolved)
-        cells = [cell for group in plan.groups for cell in group.cells]
-        if resolved.env_fields:
-            # Sweep-wide env.* overrides: apply exactly the fields the
-            # user named, so cells that already carry a non-default
-            # environment (the off-model scenarios) keep their channel
-            # parameters — and an explicit default (env.loss_rate=0.0)
-            # really does reset them.
-            cells = [
-                cell.with_env(resolved.env, resolved.env_fields)
-                for cell in cells
-            ]
+        plan, cells = self.prepare(resolved)
         artifact_cells = [cell for cell in cells if cell.env.artifacts]
         store_path: pathlib.Path | None = None
         if artifact_cells:
             if artifact_store is not None:
-                store_path = pathlib.Path(artifact_store) / (
-                    f"artifacts-{resolved.spec.figure_id}-"
-                    f"{spec_digest(resolved.payload())[:12]}.pkl"
-                )
+                store_path = artifact_store_path(resolved, artifact_store)
                 ARTIFACTS.load(store_path)
             _warm_artifacts(artifact_cells)
             if will_shard(workers, len(cells)):
@@ -2056,19 +2100,7 @@ class SweepEngine:
                 workers=workers,
                 colocate=_cell_colocation_key,
             )
-        cursor = 0
-        for group in plan.groups:
-            samples = values[cursor : cursor + len(group.cells)]
-            cursor += len(group.cells)
-            if group.drop_value is not None:
-                samples = [s for s in samples if s != group.drop_value]
-                if not samples:  # measure undefined for every draw
-                    plan.figure.series_named(group.series)
-                    continue
-            plan.figure.series_named(group.series).add(group.x, samples)
-        if plan.finalize is not None:
-            plan.finalize(plan.figure)
-        return plan.figure
+        return self.assemble(plan, values)
 
     @staticmethod
     def _spec_of(spec: SweepSpec | str) -> SweepSpec:
@@ -2152,6 +2184,7 @@ __all__ = [
     "SweepSpec",
     "TopologySpec",
     "TrialSpec",
+    "artifact_store_path",
     "attack_rates",
     "environment_axis_names",
     "execute_trial",

@@ -1,0 +1,49 @@
+"""Distributed sweep fabric (DESIGN.md §13).
+
+A brokerless, filesystem-backed work queue that turns any registered
+sweep or mission campaign into a durable, resumable job:
+
+* :mod:`repro.fabric.queue` — the queue itself: content-addressed job
+  directories, an O_EXCL/rename lease protocol, atomic shard results.
+* :mod:`repro.fabric.worker` — the worker loop behind
+  ``repro fabric worker``: claim, execute through the one shared cell
+  executor, publish, repeat.
+* :mod:`repro.fabric.client` — the submit/wait/assemble side behind
+  ``repro sweep --backend queue``, including the degraded-mode
+  fallback to local serial execution when the queue is unreachable.
+"""
+
+from repro.fabric.client import (
+    FabricRun,
+    client_identity,
+    job_id_of,
+    run_sweep_via_queue,
+)
+from repro.fabric.queue import (
+    DEFAULT_LEASE_TTL,
+    FabricQueue,
+    JobRecord,
+    JobStatus,
+    QUEUE_ENV,
+    QueueUnreachable,
+    worker_identity,
+)
+from repro.fabric.worker import STALL_ENV, WorkerStats, execute_shard, run_worker
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "FabricQueue",
+    "FabricRun",
+    "JobRecord",
+    "JobStatus",
+    "QUEUE_ENV",
+    "QueueUnreachable",
+    "STALL_ENV",
+    "WorkerStats",
+    "client_identity",
+    "execute_shard",
+    "job_id_of",
+    "run_sweep_via_queue",
+    "run_worker",
+    "worker_identity",
+]

@@ -1,0 +1,241 @@
+"""Fabric client: durable, resumable queue-backed sweeps (§13.4).
+
+``repro sweep --backend queue`` lands here.  The client owns both ends
+of the sweep — :meth:`SweepEngine.prepare` before the queue and
+:meth:`SweepEngine.assemble` after it — so the only thing the fabric
+replaces is *where cells execute*; everything that defines the rows is
+the same code the serial path runs, which is what makes queue ≡ serial
+an invariant rather than a test wish.
+
+Durability: the job id embeds the resolved spec digest, so rerunning
+the same command after any interruption — ^C in the client, a dead
+worker, a rebooted machine — resumes the same job directory and only
+the missing shards execute.  The client also *works* while it waits
+(claiming shards like any worker) so a queue with zero workers still
+completes, just serially.
+
+Degraded mode: an unreachable queue must never fail a sweep that the
+local path could run.  Unreachability before submission raises
+:class:`~repro.fabric.queue.QueueUnreachable` for the caller to catch
+(the CLI falls back to the classic local path and exits 0); once a job
+is in flight, any queue loss degrades *inside* the client — remaining
+cells execute locally and the run reports ``degraded=True`` — because
+at that point falling back is strictly cheaper than giving up.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.artifacts import ARTIFACTS
+from repro.experiments.parallel import colocation_chunks
+from repro.experiments.persistence import spec_digest
+from repro.experiments.report import FigureData
+from repro.experiments.spec import (
+    SWEEP_ENGINE,
+    ResolvedSweep,
+    _cell_colocation_key,
+    _warm_artifacts,
+    artifact_store_path,
+    execute_trial,
+)
+from repro.fabric.queue import FabricQueue, JobRecord, QueueUnreachable
+from repro.fabric.worker import execute_shard
+
+
+def job_id_of(resolved: ResolvedSweep) -> str:
+    """The content-addressed job id of one resolved sweep.
+
+    The digest covers figure, scale, axes, seed policy and explicit
+    environment overrides (``ResolvedSweep.payload()``), so equal
+    commands collide onto one resumable job and different
+    parameterisations never share shards.
+    """
+    return f"{resolved.spec.figure_id}-{spec_digest(resolved.payload())[:12]}"
+
+
+def client_identity() -> str:
+    """The claims/journal identity of this client process."""
+    return f"client-{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class FabricRun:
+    """Outcome of one queue-backed sweep."""
+
+    figure: FigureData
+    job_id: str
+    total_shards: int
+    resumed_shards: int
+    client_shards: int
+    degraded: bool = False
+    degraded_reason: str = ""
+
+    def describe(self) -> str:
+        if self.degraded:
+            return (
+                f"fabric: job {self.job_id} degraded to local execution "
+                f"({self.degraded_reason})"
+            )
+        outsourced = self.total_shards - self.client_shards - self.resumed_shards
+        return (
+            f"fabric: job {self.job_id} — {self.total_shards} shard(s): "
+            f"{self.resumed_shards} resumed, {self.client_shards} by this "
+            f"client, {outsourced} by workers"
+        )
+
+
+def _execute_locally(plan, cells) -> FigureData:
+    """The degraded path: the serial executor, cell by cell, in order."""
+    values = [execute_trial(cell) for cell in cells]
+    return SWEEP_ENGINE.assemble(plan, values)
+
+
+def run_sweep_via_queue(
+    resolved: ResolvedSweep,
+    queue_root,
+    artifact_store=None,
+    work: bool = True,
+    poll: float = 0.05,
+) -> FabricRun:
+    """Run one resolved sweep through the fabric queue.
+
+    Raises:
+        QueueUnreachable: when the queue cannot be reached *before* the
+            job is submitted — the caller should degrade to the local
+            path (the CLI does, with a warning and exit code 0).
+        ExperimentError: when a cell genuinely fails (same error the
+            serial path would raise) or a resumed job's manifest does
+            not match this code's plan for the same digest.
+    """
+    plan, cells = SWEEP_ENGINE.prepare(resolved)
+    job_id = job_id_of(resolved)
+    shards = colocation_chunks(cells, _cell_colocation_key)
+    record = JobRecord(
+        job_id=job_id,
+        figure_id=resolved.spec.figure_id,
+        payload=resolved.payload(),
+        shards=tuple(tuple(shard) for shard in shards),
+        cell_count=len(cells),
+        artifacts=False,
+    )
+    if not cells:
+        return FabricRun(
+            figure=SWEEP_ENGINE.assemble(plan, []),
+            job_id=job_id,
+            total_shards=0,
+            resumed_shards=0,
+            client_shards=0,
+        )
+
+    artifact_cells = [cell for cell in cells if cell.env.artifacts]
+    snapshot_bytes: bytes | None = None
+    store_path = None
+    if artifact_cells:
+        if artifact_store is not None:
+            store_path = artifact_store_path(resolved, artifact_store)
+            ARTIFACTS.load(store_path)
+        _warm_artifacts(artifact_cells)
+        snapshot_bytes = pickle.dumps(ARTIFACTS.snapshot())
+        record = JobRecord(
+            job_id=record.job_id,
+            figure_id=record.figure_id,
+            payload=record.payload,
+            shards=record.shards,
+            cell_count=record.cell_count,
+            artifacts=True,
+        )
+
+    # Everything up to (and including) submission may raise
+    # QueueUnreachable: nothing has executed yet, so the caller can
+    # degrade wholesale.
+    queue = queue_root if isinstance(queue_root, FabricQueue) else FabricQueue(queue_root)
+    queue.connect(create=True)
+    queue.submit(
+        job_id,
+        record.figure_id,
+        record.payload,
+        cells,
+        [list(shard) for shard in shards],
+        artifact_snapshot=snapshot_bytes,
+    )
+    existing = queue.load_job(job_id)
+    if existing is not None and existing.shards != record.shards:
+        raise ExperimentError(
+            f"job {job_id} exists with a different shard plan "
+            f"({existing.total_shards} vs {len(shards)} shards); the queue "
+            "was populated by a different code version — clear the job "
+            "directory or use a fresh queue root"
+        )
+
+    client_id = client_identity()
+    total = len(shards)
+    try:
+        resumed = len(queue.completed_shards(job_id))
+        client_shards = 0
+        values: list = [None] * len(cells)
+        collected: set[int] = set()
+        while True:
+            completed = queue.completed_shards(job_id)
+            # Collect eagerly: read_result discards corrupt files, so a
+            # shard can leave the completed set again — the loop only
+            # ends once every shard has yielded a *readable* result.
+            for shard_index in sorted(completed - collected):
+                result = queue.read_result(job_id, shard_index)
+                if result is None:
+                    continue
+                if "error" in result:
+                    raise ExperimentError(
+                        f"job {job_id} shard {shard_index} failed: "
+                        f"{result['error']}"
+                    )
+                for index, value in zip(record.shards[shard_index], result["values"]):
+                    values[index] = value
+                if record.artifacts:
+                    ARTIFACTS.merge_delta(result.get("delta") or {})
+                collected.add(shard_index)
+            if len(collected) >= total:
+                break
+            progressed = False
+            if work:
+                for shard_index in range(total):
+                    if shard_index in collected or shard_index in completed:
+                        continue
+                    if queue.claim(job_id, shard_index, client_id):
+                        execute_shard(queue, record, cells, shard_index, client_id)
+                        client_shards += 1
+                        progressed = True
+                        break  # re-scan: workers may have finished the rest
+            if not progressed:
+                time.sleep(poll)
+    except (QueueUnreachable, OSError) as exc:
+        # The queue was pulled out from under a job in flight: finish
+        # locally rather than fail.  Cells are pure, so re-executing
+        # shards whose results just became unreachable is safe.
+        return FabricRun(
+            figure=_execute_locally(plan, cells),
+            job_id=job_id,
+            total_shards=total,
+            resumed_shards=0,
+            client_shards=client_shards,
+            degraded=True,
+            degraded_reason=str(exc),
+        )
+
+    if store_path is not None:
+        ARTIFACTS.save(store_path)
+    return FabricRun(
+        figure=SWEEP_ENGINE.assemble(plan, values),
+        job_id=job_id,
+        total_shards=total,
+        resumed_shards=resumed,
+        client_shards=client_shards,
+    )
+
+
+__all__ = ["FabricRun", "client_identity", "job_id_of", "run_sweep_via_queue"]

@@ -1,0 +1,527 @@
+"""Content-addressed filesystem work queue (DESIGN.md §13.1-13.2).
+
+One queue is one directory tree that any number of worker processes —
+on one machine or on several sharing a filesystem — poll for work.  The
+layout is the protocol; there is no broker process to crash::
+
+    <root>/jobs/<job_id>/
+        job.json            manifest: resolved-spec payload, shard plan
+        cells.pkl           the pickled cell list (prepare() order)
+        artifacts.pkl       optional warm ArtifactCache snapshot
+        leases/<shard>.json claims: worker id, pid, host, timestamp
+        results/<shard>.pkl content-addressed shard results
+        journal/<worker>.jsonl  append-only execution accounting
+
+Content addressing: ``job_id`` embeds the resolved sweep's spec digest
+(:func:`repro.experiments.persistence.spec_digest`), so re-submitting
+the same sweep — after a client crash, a ^C, or from another machine —
+lands on the *same* job directory and adopts whatever shards already
+completed instead of re-executing them.  Shards are the colocation
+chunks of :func:`repro.experiments.parallel.colocation_chunks`, so a
+mission's measure cells stay on one worker exactly as they do under the
+in-process pool.
+
+Lease protocol (crash-safe, brokerless):
+
+1. *Claim* — atomically create ``leases/<shard>.json`` with
+   ``O_CREAT | O_EXCL``; exactly one contender wins.  A shard whose
+   result already exists is never claimed.
+2. *Execute* — the winner runs the shard's cells in order.
+3. *Publish* — the result is written via write-temp + ``os.replace``
+   (never a partially-written file, even under SIGKILL), then the lease
+   is removed.  Result presence, not lease absence, is the source of
+   truth for completion.
+4. *Recover* — a lease is stale when its owning pid is dead (same-host
+   check, immediate) or its file is older than the TTL (cross-host
+   fallback).  Breaking a stale lease races through a unique rename, so
+   exactly one contender gets to re-claim; because cells are pure
+   functions of their specs, the rare double-execution after a break is
+   idempotent — both writers produce identical bytes.
+
+Unreachability is a first-class outcome: every entry point that touches
+the filesystem translates ``OSError`` into :class:`QueueUnreachable`,
+which callers (the fabric client, the CLI) treat as "degrade to the
+local execution path", never as a crash (DESIGN.md §13.4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.persistence import atomic_write_bytes, atomic_write_text
+
+#: manifest/shard format version; unknown versions are ignored on read.
+_JOB_VERSION = 1
+
+#: default cross-host lease TTL (seconds).  Same-host recovery is
+#: pid-based and immediate; the TTL only matters when the claiming host
+#: cannot probe the owner's pid.
+DEFAULT_LEASE_TTL = 600.0
+
+#: environment variable naming the default queue root for every fabric
+#: entry point (``repro sweep --backend queue``, ``repro fabric ...``).
+QUEUE_ENV = "REPRO_QUEUE"
+
+
+class QueueUnreachable(ExperimentError):
+    """The queue directory cannot be used (missing, unwritable, gone).
+
+    Deliberately a subclass of :class:`ExperimentError` so an uncaught
+    escape still renders as a clean CLI error — but callers are
+    expected to catch it and fall back to local execution.
+    """
+
+
+def worker_identity() -> str:
+    """A queue-unique identity for this process's claims and journal."""
+    return f"w-{socket.gethostname()}-{os.getpid()}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a same-host pid."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One submitted job, as described by its manifest."""
+
+    job_id: str
+    figure_id: str
+    payload: dict
+    shards: tuple[tuple[int, ...], ...]
+    cell_count: int
+    artifacts: bool
+
+    @property
+    def total_shards(self) -> int:
+        return len(self.shards)
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time progress summary for ``repro fabric status``."""
+
+    job_id: str
+    figure_id: str
+    total: int
+    completed: int
+    leased: int
+    workers: tuple[str, ...] = ()
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.total
+
+    def describe(self) -> str:
+        state = "done" if self.done else f"{self.leased} leased"
+        crew = f", workers: {', '.join(self.workers)}" if self.workers else ""
+        return (
+            f"{self.job_id:<28} {self.completed}/{self.total} shards "
+            f"({state}{crew})"
+        )
+
+
+@dataclass
+class FabricQueue:
+    """Filesystem work queue rooted at ``root``.
+
+    Every method that touches the tree may raise
+    :class:`QueueUnreachable`; no partial state is ever half-trusted —
+    corrupt manifests are skipped, corrupt results are discarded and
+    re-executed.
+    """
+
+    root: pathlib.Path
+    lease_ttl: float = DEFAULT_LEASE_TTL
+
+    def __init__(
+        self, root: str | pathlib.Path, lease_ttl: float = DEFAULT_LEASE_TTL
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.lease_ttl = lease_ttl
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def jobs_dir(self) -> pathlib.Path:
+        return self.root / "jobs"
+
+    def job_dir(self, job_id: str) -> pathlib.Path:
+        return self.jobs_dir / job_id
+
+    def _manifest_path(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def _cells_path(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "cells.pkl"
+
+    def artifact_snapshot_path(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "artifacts.pkl"
+
+    def _lease_path(self, job_id: str, shard: int) -> pathlib.Path:
+        return self.job_dir(job_id) / "leases" / f"{shard}.json"
+
+    def _result_path(self, job_id: str, shard: int) -> pathlib.Path:
+        return self.job_dir(job_id) / "results" / f"{shard}.pkl"
+
+    def _journal_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "journal"
+
+    def connect(self, create: bool = True) -> None:
+        """Ensure the queue tree is usable, or raise :class:`QueueUnreachable`.
+
+        ``create=True`` (clients, workers) builds the layout; with
+        ``create=False`` a missing tree is already unreachable.
+        """
+        try:
+            if create:
+                self.jobs_dir.mkdir(parents=True, exist_ok=True)
+            elif not self.jobs_dir.is_dir():
+                raise QueueUnreachable(f"no queue at {self.root}")
+        except OSError as exc:
+            raise QueueUnreachable(f"queue root {self.root} unusable: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job_id: str,
+        figure_id: str,
+        payload: dict,
+        cells: list,
+        shards: list[list[int]],
+        artifact_snapshot: bytes | None = None,
+    ) -> bool:
+        """Publish one job; returns False when it already exists (resume).
+
+        The manifest is written *last* and atomically: workers ignore
+        job directories without ``job.json``, so a submitter killed
+        mid-publish leaves debris, never a claimable half-job.  Equal
+        job ids mean equal resolved specs (content addressing), so
+        adopting an existing directory is always safe.
+        """
+        try:
+            job_dir = self.job_dir(job_id)
+            if self._manifest_path(job_id).exists():
+                return False
+            for sub in ("leases", "results", "journal"):
+                (job_dir / sub).mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(self._cells_path(job_id), pickle.dumps(cells))
+            if artifact_snapshot is not None:
+                atomic_write_bytes(
+                    self.artifact_snapshot_path(job_id), artifact_snapshot
+                )
+            manifest = {
+                "version": _JOB_VERSION,
+                "job_id": job_id,
+                "figure_id": figure_id,
+                "payload": payload,
+                "shards": [list(shard) for shard in shards],
+                "cell_count": len(cells),
+                "artifacts": artifact_snapshot is not None,
+                "submitted_by": worker_identity(),
+            }
+            atomic_write_text(
+                self._manifest_path(job_id),
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            )
+            return True
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot submit to {self.root}: {exc}") from exc
+
+    def load_job(self, job_id: str) -> JobRecord | None:
+        """The manifest of one job, or None when absent/corrupt."""
+        try:
+            raw = self._manifest_path(job_id).read_text()
+            manifest = json.loads(raw)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot read {self.root}: {exc}") from exc
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(manifest, dict) or manifest.get("version") != _JOB_VERSION:
+            return None
+        try:
+            return JobRecord(
+                job_id=manifest["job_id"],
+                figure_id=manifest["figure_id"],
+                payload=manifest["payload"],
+                shards=tuple(
+                    tuple(int(i) for i in shard) for shard in manifest["shards"]
+                ),
+                cell_count=int(manifest["cell_count"]),
+                artifacts=bool(manifest.get("artifacts", False)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def cells(self, job_id: str) -> list:
+        """The job's pickled cell list (prepare() order)."""
+        try:
+            return pickle.loads(self._cells_path(job_id).read_bytes())
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot read cells of {job_id}: {exc}") from exc
+        except Exception as exc:  # noqa: BLE001 - corrupt pickle
+            raise ExperimentError(f"corrupt cell list for job {job_id}: {exc}") from exc
+
+    def list_jobs(self) -> list[str]:
+        """Submitted job ids, oldest manifest first (FIFO-ish fairness)."""
+        try:
+            entries = [
+                entry
+                for entry in self.jobs_dir.iterdir()
+                if (entry / "job.json").is_file()
+            ]
+            entries.sort(key=lambda entry: ((entry / "job.json").stat().st_mtime, entry.name))
+            return [entry.name for entry in entries]
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot list {self.root}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def claim(self, job_id: str, shard: int, worker_id: str) -> bool:
+        """Try to win the lease on one shard; True when this worker owns it.
+
+        Never claims a completed shard.  A stale lease (dead owner) is
+        broken first; the break itself is race-free because only one
+        contender's rename of the lease file can succeed.
+        """
+        try:
+            if self._result_path(job_id, shard).exists():
+                return False
+            lease = self._lease_path(job_id, shard)
+            payload = json.dumps(
+                {
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "claimed_at": time.time(),
+                }
+            )
+            for attempt in range(2):
+                try:
+                    fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    if attempt or not self._break_stale_lease(lease):
+                        return False
+                    continue
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                # Close the publish race: the previous owner may have
+                # published between our completion check and this win
+                # (write_result precedes lease release, so a result
+                # observed here is always complete).  Without this
+                # re-check a finished shard could be executed twice.
+                if self._result_path(job_id, shard).exists():
+                    self.release(job_id, shard)
+                    return False
+                return True
+            return False
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot claim in {self.root}: {exc}") from exc
+
+    def _lease_stale(self, lease: pathlib.Path) -> bool:
+        """Whether a lease's owner is provably gone (or timed out)."""
+        try:
+            record = json.loads(lease.read_text())
+            age = time.time() - lease.stat().st_mtime
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Vanished (owner finished/released) or corrupt (a corrupt
+            # claim cannot prove liveness): treat as breakable.
+            return True
+        if not isinstance(record, dict):
+            return True
+        if record.get("host") == socket.gethostname():
+            pid = record.get("pid")
+            if isinstance(pid, int) and not _pid_alive(pid):
+                return True
+            # A live same-host owner is never stale: execution time may
+            # legitimately exceed any TTL.
+            return False
+        return age > self.lease_ttl
+
+    def _break_stale_lease(self, lease: pathlib.Path) -> bool:
+        """Remove a stale lease; True when *this* contender broke it."""
+        if not self._lease_stale(lease):
+            return False
+        tombstone = lease.with_name(f"{lease.name}.broken-{uuid.uuid4().hex}")
+        try:
+            os.replace(lease, tombstone)
+        except FileNotFoundError:
+            return False  # another contender won the break
+        tombstone.unlink(missing_ok=True)
+        return True
+
+    def release(self, job_id: str, shard: int) -> None:
+        """Drop this worker's lease without a result (failed/aborted)."""
+        self._lease_path(job_id, shard).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def write_result(self, job_id: str, shard: int, payload: dict) -> None:
+        """Publish one shard result atomically, then clear the lease."""
+        record = dict(payload)
+        record["version"] = _JOB_VERSION
+        try:
+            atomic_write_bytes(
+                self._result_path(job_id, shard), pickle.dumps(record)
+            )
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot publish shard {shard}: {exc}") from exc
+        self.release(job_id, shard)
+
+    def read_result(self, job_id: str, shard: int) -> dict | None:
+        """One shard's result, or None when absent.
+
+        A corrupt result file (possible only through storage faults —
+        publication is atomic) is deleted so the shard re-enters the
+        claimable pool instead of poisoning every resume.
+        """
+        path = self._result_path(job_id, shard)
+        try:
+            record = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot read shard {shard}: {exc}") from exc
+        except Exception:  # noqa: BLE001 - corrupt pickle must not be trusted
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(record, dict) or record.get("version") != _JOB_VERSION:
+            path.unlink(missing_ok=True)
+            return None
+        return record
+
+    def completed_shards(self, job_id: str) -> set[int]:
+        """Indices of shards with a published result."""
+        try:
+            results = self.job_dir(job_id) / "results"
+            return {
+                int(entry.stem)
+                for entry in results.glob("*.pkl")
+                if entry.stem.isdigit()
+            }
+        except FileNotFoundError:
+            return set()
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot scan results: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def journal(self, job_id: str, worker_id: str, entry: dict) -> None:
+        """Append one accounting line to this worker's journal.
+
+        One file per worker, append-only: the lease-accounting tests
+        (and post-mortems) read the union of journals to prove no cell
+        executed twice across crashes and resumes.
+        """
+        record = dict(entry)
+        record["worker"] = worker_id
+        record["at"] = time.time()
+        path = self._journal_dir(job_id) / f"{worker_id}.jsonl"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass  # accounting is best-effort, never load-bearing
+
+    def read_journal(self, job_id: str) -> list[dict]:
+        """Every journal entry of a job, across all workers."""
+        entries: list[dict] = []
+        journal_dir = self._journal_dir(job_id)
+        try:
+            paths = sorted(journal_dir.glob("*.jsonl"))
+        except OSError:
+            return entries
+        for path in paths:
+            try:
+                lines = path.read_text().splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    entries.append(record)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> JobStatus | None:
+        """Progress summary for one job (None for unknown jobs)."""
+        record = self.load_job(job_id)
+        if record is None:
+            return None
+        completed = self.completed_shards(job_id)
+        try:
+            leases = list((self.job_dir(job_id) / "leases").glob("*.json"))
+        except OSError:
+            leases = []
+        workers = sorted(
+            {
+                str(entry.get("worker"))
+                for entry in self.read_journal(job_id)
+                if entry.get("worker")
+            }
+        )
+        return JobStatus(
+            job_id=job_id,
+            figure_id=record.figure_id,
+            total=record.total_shards,
+            completed=len(completed & {i for i in range(record.total_shards)}),
+            leased=len(leases),
+            workers=tuple(workers),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human summary for ``repro fabric status``."""
+        lines = [f"queue : {self.root}"]
+        jobs = self.list_jobs()
+        if not jobs:
+            lines.append("  (no jobs)")
+            return "\n".join(lines)
+        for job_id in jobs:
+            status = self.status(job_id)
+            if status is not None:
+                lines.append(f"  {status.describe()}")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "FabricQueue",
+    "JobRecord",
+    "JobStatus",
+    "QUEUE_ENV",
+    "QueueUnreachable",
+    "worker_identity",
+]

@@ -1,0 +1,198 @@
+"""Fabric worker: claim shards, execute cells, publish results (§13.3).
+
+A worker is a plain process loop over the queue — no registration, no
+coordinator, no connection state.  Scale-out is starting more workers;
+scale-in is killing them (leases recover, results are durable).  The
+execution core is *exactly* the serial path's: every cell goes through
+:func:`repro.experiments.spec.execute_trial`, the one sweep-cell
+executor, so a queue-backed sweep is row-identical to a serial run by
+construction — the fabric moves work between processes, never changes
+what the work computes.
+
+Warm state: a job submitted with the artifact layer enabled carries the
+client's warmed :class:`~repro.experiments.artifacts.ArtifactCache`
+snapshot (the same ``--artifact-store`` format, DESIGN.md §9).  A worker
+adopts it once per job and reports its own additions back inside each
+shard result (the worker-delta protocol of §9.2 carried over the
+filesystem instead of a pipe), so the client's merged cache — and its
+on-disk snapshot — covers the whole fleet's work.
+
+Failure semantics: a cell that raises publishes an *error result* (the
+serial path would have raised the same error; retrying a deterministic
+failure is useless churn), while a worker that dies mid-shard leaves a
+stale lease that any peer breaks and re-runs.  ``REPRO_FABRIC_STALL``
+(seconds slept before each shard) exists so tests and CI can hold a
+worker mid-run long enough to SIGKILL it deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.artifacts import ARTIFACTS
+from repro.experiments.spec import execute_trial
+from repro.fabric.queue import FabricQueue, JobRecord, worker_identity
+
+#: test/CI hook: seconds to sleep before executing each shard.
+STALL_ENV = "REPRO_FABRIC_STALL"
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop accomplished (returned by :func:`run_worker`)."""
+
+    worker_id: str
+    shards: int = 0
+    cells: int = 0
+    jobs: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        jobs = ", ".join(self.jobs) if self.jobs else "-"
+        return (
+            f"worker {self.worker_id}: {self.shards} shard(s), "
+            f"{self.cells} cell(s) across jobs: {jobs}"
+        )
+
+
+def execute_shard(
+    queue: FabricQueue,
+    record: JobRecord,
+    cells: list,
+    shard_index: int,
+    worker_id: str,
+) -> None:
+    """Execute one claimed shard and publish its result.
+
+    The caller must hold the lease.  Cells run in shard order in this
+    process — the colocation contract — and, when the job carries
+    artifacts, the worker's cache delta since the previous drain rides
+    along in the result for the client to merge (DESIGN.md §9.2).
+    """
+    indices = record.shards[shard_index]
+    stall = float(os.environ.get(STALL_ENV, "0") or 0)
+    if stall > 0:
+        time.sleep(stall)
+    try:
+        values = [execute_trial(cells[index]) for index in indices]
+    except ExperimentError as exc:
+        queue.write_result(
+            record.job_id,
+            shard_index,
+            {"shard": shard_index, "indices": list(indices), "error": str(exc)},
+        )
+        queue.journal(
+            record.job_id,
+            worker_id,
+            {"event": "failed", "shard": shard_index, "error": str(exc)},
+        )
+        return
+    payload: dict = {
+        "shard": shard_index,
+        "indices": list(indices),
+        "values": values,
+    }
+    if record.artifacts:
+        payload["delta"] = ARTIFACTS.drain_delta()
+    queue.write_result(record.job_id, shard_index, payload)
+    queue.journal(
+        record.job_id,
+        worker_id,
+        {"event": "executed", "shard": shard_index, "cells": len(indices)},
+    )
+
+
+class _JobContext:
+    """Per-job worker state: unpickled cells, adopted artifact snapshot."""
+
+    def __init__(self, queue: FabricQueue, record: JobRecord) -> None:
+        self.record = record
+        self.cells = queue.cells(record.job_id)
+        if record.artifacts:
+            # Adopt the client's warm snapshot (load() resets the delta
+            # window, so the first drain reports only *our* additions).
+            # A missing/corrupt snapshot degrades to a cold cache,
+            # which is slower but bit-identical.
+            ARTIFACTS.load(queue.artifact_snapshot_path(record.job_id))
+
+
+def run_worker(
+    queue_root,
+    worker_id: str | None = None,
+    once: bool = False,
+    poll: float = 0.2,
+    idle_timeout: float | None = None,
+    max_shards: int | None = None,
+) -> WorkerStats:
+    """The worker main loop; returns when out of work or over budget.
+
+    Args:
+        queue_root: queue directory (created if absent).
+        worker_id: identity for leases/journals; defaults to
+            :func:`~repro.fabric.queue.worker_identity`.
+        once: exit as soon as a full pass over the queue finds nothing
+            claimable (drain-and-exit, the CI mode).
+        poll: seconds between passes while idle.
+        idle_timeout: exit after this many seconds without progress
+            (None: only ``once``/``max_shards`` end the loop).
+        max_shards: stop after executing this many shards — bounded
+            workers let tests model a worker that dies after N cells.
+    """
+    queue = FabricQueue(queue_root) if not isinstance(queue_root, FabricQueue) else queue_root
+    queue.connect(create=True)
+    stats = WorkerStats(worker_id=worker_id or worker_identity())
+    contexts: dict[str, _JobContext] = {}
+    jobs_seen: list[str] = []
+    last_progress = time.monotonic()
+    while True:
+        progressed = False
+        for job_id in queue.list_jobs():
+            context = contexts.get(job_id)
+            if context is None:
+                record = queue.load_job(job_id)
+                if record is None:
+                    continue
+                context = _JobContext(queue, record)
+                contexts[job_id] = context
+            record = context.record
+            completed = queue.completed_shards(job_id)
+            for shard_index in range(record.total_shards):
+                if shard_index in completed:
+                    continue
+                if not queue.claim(job_id, shard_index, stats.worker_id):
+                    continue
+                try:
+                    execute_shard(
+                        queue, record, context.cells, shard_index, stats.worker_id
+                    )
+                except BaseException:
+                    # Publish failed or the worker is dying: free the
+                    # shard for peers rather than strand the lease
+                    # until pid-death detection.
+                    queue.release(job_id, shard_index)
+                    raise
+                stats.shards += 1
+                stats.cells += len(record.shards[shard_index])
+                if job_id not in jobs_seen:
+                    jobs_seen.append(job_id)
+                progressed = True
+                last_progress = time.monotonic()
+                if max_shards is not None and stats.shards >= max_shards:
+                    stats.jobs = tuple(jobs_seen)
+                    return stats
+        if not progressed:
+            if once:
+                break
+            if (
+                idle_timeout is not None
+                and time.monotonic() - last_progress >= idle_timeout
+            ):
+                break
+            time.sleep(poll)
+    stats.jobs = tuple(jobs_seen)
+    return stats
+
+
+__all__ = ["STALL_ENV", "WorkerStats", "execute_shard", "run_worker"]

@@ -137,10 +137,10 @@ class TestColocation:
     this to hit one worker's memo with all of a mission's series)."""
 
     def test_chunks_group_by_key_in_first_appearance_order(self):
-        from repro.experiments.parallel import _colocation_chunks
+        from repro.experiments.parallel import colocation_chunks
 
         keys = ["a", None, "a", "b", None, "b"]
-        chunks = _colocation_chunks(keys, lambda item: item)
+        chunks = colocation_chunks(keys, lambda item: item)
         assert chunks == [[0, 2], [1], [3, 5], [4]]
 
     def test_equal_keys_share_a_worker(self):
