@@ -259,6 +259,15 @@ def _build_parser() -> argparse.ArgumentParser:
             f"{QUEUE_ENV} env var)"
         ),
     )
+    sweep.add_argument(
+        "--no-work",
+        action="store_true",
+        help=(
+            "queue backend only: submit, wait and collect without "
+            "claiming shards locally — leave every shard to the worker "
+            "fleet (pure-coordinator mode, used by the chaos CI job)"
+        ),
+    )
     _add_sweep_options(sweep)
 
     mission = commands.add_parser(
@@ -436,6 +445,59 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop after executing N shards (bounded-worker test mode)",
     )
+    fabric_supervise = fabric_commands.add_parser(
+        "supervise",
+        help=(
+            "spawn and supervise a fleet of worker subprocesses: "
+            "heartbeat watching, restart with backoff, crash-loop "
+            "detection, graceful drain on SIGTERM/^C (DESIGN.md §14.4)"
+        ),
+    )
+    fabric_supervise.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=f"queue directory (default: the {QUEUE_ENV} env var)",
+    )
+    fabric_supervise.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker subprocesses to keep alive (default 2)",
+    )
+    fabric_supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "restarts per worker slot before declaring a crash-loop "
+            "and leaving it down (default 5)"
+        ),
+    )
+    fabric_supervise.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a live worker whose heartbeat is older (default 60)",
+    )
+    fabric_supervise.add_argument(
+        "--drain",
+        action="store_true",
+        help=(
+            "exit once every job in the queue is complete (CI mode); "
+            "without it the supervisor runs until signalled"
+        ),
+    )
+    fabric_supervise.add_argument(
+        "--worker-idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="pass --idle-timeout through to each spawned worker",
+    )
     fabric_status = fabric_commands.add_parser(
         "status",
         help="print per-job shard progress for a queue directory",
@@ -451,6 +513,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help=f"queue directory (default: the {QUEUE_ENV} env var)",
+    )
+    fabric_status.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: per-job shard/stale/quarantine "
+            "counters plus worker heartbeats and supervisor state"
+        ),
     )
 
     bench = commands.add_parser(
@@ -789,6 +859,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print(f"sweep : {name} ({resolved.scale} scale, seeds={resolved.seed_mode})")
     print(f"spec  : {spec_digest(resolved.payload())[:12]}")
+    fabric_stats: dict | None = None
     if args.backend == "queue":
         queue_root = args.queue or os.environ.get(QUEUE_ENV)
         if not queue_root:
@@ -803,7 +874,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
             )
         try:
             run = run_sweep_via_queue(
-                resolved, queue_root, artifact_store=args.artifact_store
+                resolved,
+                queue_root,
+                artifact_store=args.artifact_store,
+                work=not args.no_work,
             )
         except QueueUnreachable as exc:
             # The headline degraded-mode contract: an unreachable queue
@@ -819,6 +893,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         else:
             print(run.describe())
             figure = run.figure
+            fabric_stats = run.stats_payload()
     else:
         try:
             figure = SWEEP_ENGINE.run(
@@ -833,6 +908,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
             return 130
     _render_figure(figure)
     metadata = _report_artifacts()
+    if fabric_stats is not None:
+        # Degradation accounting rides in the artefact: retries,
+        # quarantines and lease breaks a run absorbed are part of its
+        # provenance (DESIGN.md §14), never silent.
+        metadata = {**(metadata or {}), "fabric": fabric_stats}
     if args.out:
         print(f"saved: {_persist(figure, resolved, args.out, metadata=metadata)}")
     if args.csv:
@@ -1088,6 +1168,7 @@ def _run_attack(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal as signal_module
 
     from repro.service import EventLog, FleetService
     from repro.service.protocol import serve_socket, serve_stdio
@@ -1100,44 +1181,160 @@ def _run_serve(args: argparse.Namespace) -> int:
         seed=args.scheduler_seed,
         event_log=event_log,
     )
+
+    # A signal landing between the banner and the event loop wiring its
+    # own handlers must still mean drain, not the default hard kill:
+    # record it here, honour it the moment the loop is up.
+    early_stop = {"requested": False}
+
+    def _early_signal(_signum, _frame):
+        early_stop["requested"] = True
+
+    previous_handlers = {}
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            previous_handlers[signum] = signal_module.signal(
+                signum, _early_signal
+            )
+        except (ValueError, OSError):
+            pass  # non-main thread / unsupported signal
+
+    async def _main() -> bool:
+        # Graceful drain (DESIGN.md §14.5): SIGINT/^C and SIGTERM stop
+        # the request loop, let the in-flight epoch finish, and cancel
+        # queued missions with MissionCancelled events — no default
+        # KeyboardInterrupt unwinding through half-written output.
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        wired = []
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+                wired.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # no-signal platform/thread: ^C stays abrupt
+        if early_stop["requested"]:
+            stop_event.set()
+        try:
+            if args.socket:
+                await serve_socket(service, args.socket, stop_event=stop_event)
+            else:
+                await serve_stdio(
+                    service, on_eof=args.on_eof, stop_event=stop_event
+                )
+        finally:
+            for signum in wired:
+                loop.remove_signal_handler(signum)
+        return stop_event.is_set()
+
     try:
         if args.socket:
             # stdout stays free in socket mode; the banner helps humans
             # find the endpoint either way, so it goes to stderr.
             print(f"serve: listening on {args.socket}", file=sys.stderr)
-            asyncio.run(serve_socket(service, args.socket))
         else:
             print(
                 "serve: NDJSON on stdio "
                 f"(on EOF: {args.on_eof}; events: {args.events or 'off'})",
                 file=sys.stderr,
             )
-            asyncio.run(serve_stdio(service, on_eof=args.on_eof))
+        interrupted = asyncio.run(_main()) or early_stop["requested"]
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal_module.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
         if event_log is not None:
             event_log.close()
+    if interrupted:
+        print(
+            "interrupted: drained gracefully — in-flight epochs finished, "
+            "queued missions cancelled (MissionCancelled events emitted)",
+            file=sys.stderr,
+        )
+        print(
+            "resume by resubmitting unfinished missions"
+            + (f"; the event log {args.events} records how far each got"
+               if args.events else ""),
+            file=sys.stderr,
+        )
+        return 130
     return 0
 
 
 def _run_fabric(args: argparse.Namespace) -> int:
+    import signal as signal_module
+
     queue_root = args.queue or os.environ.get(QUEUE_ENV)
     if not queue_root:
         raise ExperimentError(
             f"pass --queue DIR or set {QUEUE_ENV} to name the queue directory"
         )
     if args.fabric_command == "worker":
-        stats = run_worker(
-            queue_root,
-            worker_id=args.worker_id,
-            once=args.once,
-            poll=args.poll_ms / 1000.0,
-            idle_timeout=args.idle_timeout,
-            max_shards=args.max_shards,
-        )
+        # SIGTERM = graceful drain: finish the in-flight shard, publish,
+        # exit — so a supervisor (or orchestrator) stopping the fleet
+        # never strands a lease on a half-done shard.
+        drain_requested = {"stop": False}
+
+        def _request_drain(*_args) -> None:
+            drain_requested["stop"] = True
+
+        previous = signal_module.signal(signal_module.SIGTERM, _request_drain)
+        try:
+            stats = run_worker(
+                queue_root,
+                worker_id=args.worker_id,
+                once=args.once,
+                poll=args.poll_ms / 1000.0,
+                idle_timeout=args.idle_timeout,
+                max_shards=args.max_shards,
+                stop=lambda: drain_requested["stop"],
+            )
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous)
         print(stats.describe())
         return 0
+    if args.fabric_command == "supervise":
+        from repro.fabric.supervisor import (
+            DEFAULT_HEARTBEAT_TIMEOUT,
+            DEFAULT_MAX_RESTARTS,
+            run_supervisor,
+        )
+
+        report = run_supervisor(
+            queue_root,
+            workers=args.workers,
+            max_restarts=(
+                args.max_restarts
+                if args.max_restarts is not None
+                else DEFAULT_MAX_RESTARTS
+            ),
+            heartbeat_timeout=(
+                args.heartbeat_timeout
+                if args.heartbeat_timeout is not None
+                else DEFAULT_HEARTBEAT_TIMEOUT
+            ),
+            drain=args.drain,
+            worker_idle_timeout=args.worker_idle_timeout,
+        )
+        print(report.describe())
+        if report.interrupted:
+            print("rerun the same command to resume; the queue is durable")
+            return 130
+        return 1 if report.crash_loops else 0
     queue = FabricQueue(queue_root)
     queue.connect(create=False)
+    if getattr(args, "json", False):
+        payload = queue.status_payload()
+        if args.job is not None:
+            job = payload["jobs"].get(args.job)
+            if job is None:
+                print(f"error: no job {args.job!r} in {queue_root}")
+                return 2
+            payload["jobs"] = {args.job: job}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if args.job is not None:
         status = queue.status(args.job)
         if status is None:

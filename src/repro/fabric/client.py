@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import pickle
 import socket
-import time
 import os
 from dataclasses import dataclass
 
@@ -44,7 +43,14 @@ from repro.experiments.spec import (
     artifact_store_path,
     execute_trial,
 )
-from repro.fabric.queue import FabricQueue, JobRecord, QueueUnreachable
+from repro.fabric import chaos
+from repro.fabric.chaos import JitteredBackoff
+from repro.fabric.queue import (
+    DEFAULT_RETRY_POLICY,
+    FabricQueue,
+    JobRecord,
+    QueueUnreachable,
+)
 from repro.fabric.worker import execute_shard
 
 
@@ -75,6 +81,9 @@ class FabricRun:
     client_shards: int
     degraded: bool = False
     degraded_reason: str = ""
+    quarantined: int = 0
+    lease_breaks: int = 0
+    retries: int = 0
 
     def describe(self) -> str:
         if self.degraded:
@@ -82,12 +91,38 @@ class FabricRun:
                 f"fabric: job {self.job_id} degraded to local execution "
                 f"({self.degraded_reason})"
             )
-        outsourced = self.total_shards - self.client_shards - self.resumed_shards
-        return (
+        outsourced = (
+            self.total_shards
+            - self.client_shards
+            - self.resumed_shards
+            - self.quarantined
+        )
+        line = (
             f"fabric: job {self.job_id} — {self.total_shards} shard(s): "
             f"{self.resumed_shards} resumed, {self.client_shards} by this "
             f"client, {outsourced} by workers"
         )
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined (executed locally)"
+        if self.retries:
+            line += f"; {self.retries} queue retr{'y' if self.retries == 1 else 'ies'}"
+        return line
+
+    def stats_payload(self) -> dict:
+        """Degradation accounting for artefact metadata — every retry,
+        quarantine and lease break a run absorbed is recorded, never
+        silent (DESIGN.md §14)."""
+        return {
+            "job_id": self.job_id,
+            "total_shards": self.total_shards,
+            "resumed_shards": self.resumed_shards,
+            "client_shards": self.client_shards,
+            "quarantined": self.quarantined,
+            "lease_breaks": self.lease_breaks,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+        }
 
 
 def _execute_locally(plan, cells) -> FigureData:
@@ -154,7 +189,13 @@ def run_sweep_via_queue(
     # Everything up to (and including) submission may raise
     # QueueUnreachable: nothing has executed yet, so the caller can
     # degrade wholesale.
-    queue = queue_root if isinstance(queue_root, FabricQueue) else FabricQueue(queue_root)
+    client_id = client_identity()
+    if isinstance(queue_root, FabricQueue):
+        queue = queue_root
+    else:
+        queue = FabricQueue(queue_root, retry=DEFAULT_RETRY_POLICY, identity=client_id)
+    if chaos.active() is None:
+        chaos.activate("client", identity=client_id, queue_root=queue.root)
     queue.connect(create=True)
     queue.submit(
         job_id,
@@ -173,11 +214,16 @@ def run_sweep_via_queue(
             "directory or use a fresh queue root"
         )
 
-    client_id = client_identity()
     total = len(shards)
+    # Anti-spin (DESIGN.md §14.2): when every remaining shard is leased
+    # by someone else there is nothing to do but wait — with jittered
+    # exponential backoff, reset on any progress, instead of a tight
+    # fixed-interval poll.
+    backoff = JitteredBackoff(base=max(poll, 0.01), cap=max(poll * 10, 0.5))
+    quarantine_handled: set[int] = set()
+    client_shards = 0
     try:
         resumed = len(queue.completed_shards(job_id))
-        client_shards = 0
         values: list = [None] * len(cells)
         collected: set[int] = set()
         while True:
@@ -185,6 +231,7 @@ def run_sweep_via_queue(
             # Collect eagerly: read_result discards corrupt files, so a
             # shard can leave the completed set again — the loop only
             # ends once every shard has yielded a *readable* result.
+            progressed = False
             for shard_index in sorted(completed - collected):
                 result = queue.read_result(job_id, shard_index)
                 if result is None:
@@ -199,20 +246,51 @@ def run_sweep_via_queue(
                 if record.artifacts:
                     ARTIFACTS.merge_delta(result.get("delta") or {})
                 collected.add(shard_index)
+                progressed = True
             if len(collected) >= total:
                 break
-            progressed = False
+            # Poison-shard quarantine (DESIGN.md §14.3): a dead-lettered
+            # shard will never be claimed by a worker again, so the
+            # client runs its cells locally — once, through the serial
+            # executor, immune to the worker-side fault plan — and
+            # publishes the result so the job still completes durably.
+            for shard_index in sorted(
+                queue.quarantined_shards(job_id) - collected - quarantine_handled
+            ):
+                quarantine_handled.add(shard_index)
+                indices = record.shards[shard_index]
+                payload: dict = {
+                    "shard": shard_index,
+                    "indices": list(indices),
+                    "values": [execute_trial(cells[index]) for index in indices],
+                    "quarantined": True,
+                }
+                if record.artifacts:
+                    payload["delta"] = ARTIFACTS.drain_delta()
+                queue.write_result(job_id, shard_index, payload)
+                queue.journal(
+                    job_id,
+                    client_id,
+                    {"event": "quarantined-local", "shard": shard_index},
+                )
+                progressed = True
             if work:
                 for shard_index in range(total):
-                    if shard_index in collected or shard_index in completed:
+                    if (
+                        shard_index in collected
+                        or shard_index in completed
+                        or shard_index in quarantine_handled
+                    ):
                         continue
                     if queue.claim(job_id, shard_index, client_id):
                         execute_shard(queue, record, cells, shard_index, client_id)
                         client_shards += 1
                         progressed = True
                         break  # re-scan: workers may have finished the rest
-            if not progressed:
-                time.sleep(poll)
+            if progressed:
+                backoff.reset()
+            else:
+                backoff.sleep()
     except (QueueUnreachable, OSError) as exc:
         # The queue was pulled out from under a job in flight: finish
         # locally rather than fail.  Cells are pure, so re-executing
@@ -225,16 +303,26 @@ def run_sweep_via_queue(
             client_shards=client_shards,
             degraded=True,
             degraded_reason=str(exc),
+            retries=queue.retries_used,
         )
 
     if store_path is not None:
         ARTIFACTS.save(store_path)
+    try:
+        quarantined = len(queue.quarantined_shards(job_id))
+        lease_breaks = queue.total_lease_breaks(job_id)
+    except (QueueUnreachable, OSError):
+        quarantined = len(quarantine_handled)
+        lease_breaks = 0
     return FabricRun(
         figure=SWEEP_ENGINE.assemble(plan, values),
         job_id=job_id,
         total_shards=total,
         resumed_shards=resumed,
         client_shards=client_shards,
+        quarantined=quarantined,
+        lease_breaks=lease_breaks,
+        retries=queue.retries_used,
     )
 
 

@@ -46,6 +46,7 @@ local execution path", never as a crash (DESIGN.md §13.4).
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import pathlib
@@ -53,10 +54,12 @@ import pickle
 import socket
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 from repro.experiments.persistence import atomic_write_bytes, atomic_write_text
+from repro.fabric import chaos
+from repro.fabric.chaos import RetryPolicy
 
 #: manifest/shard format version; unknown versions are ignored on read.
 _JOB_VERSION = 1
@@ -69,6 +72,17 @@ DEFAULT_LEASE_TTL = 600.0
 #: environment variable naming the default queue root for every fabric
 #: entry point (``repro sweep --backend queue``, ``repro fabric ...``).
 QUEUE_ENV = "REPRO_QUEUE"
+
+#: lease breaks after which a shard is quarantined to ``deadletter/``
+#: (DESIGN.md §14.3): N workers provably died or wedged holding it, so
+#: handing it to an N+1th is a crash loop, not fault tolerance.
+DEFAULT_POISON_BREAKS = 3
+
+#: the retry policy fabric entry points install on their queues
+#: (DESIGN.md §14.2).  Direct/legacy construction keeps ``retry=None``
+#: — one OSError, one QueueUnreachable — so the protocol-level tests
+#: see undamped behaviour.
+DEFAULT_RETRY_POLICY = RetryPolicy(attempts=4, base_delay=0.05, max_delay=1.0)
 
 
 class QueueUnreachable(ExperimentError):
@@ -83,6 +97,48 @@ class QueueUnreachable(ExperimentError):
 def worker_identity() -> str:
     """A queue-unique identity for this process's claims and journal."""
     return f"w-{socket.gethostname()}-{os.getpid()}"
+
+
+def _chaos_op(op: str) -> None:
+    """Fault-injection hook: every queue operation announces itself.
+
+    Called *inside* each operation's ``try`` block, so an injected
+    ``OSError`` follows the exact path a real storage fault would —
+    translated to :class:`QueueUnreachable`, then retried or surfaced.
+    """
+    injector = chaos.active()
+    if injector is not None:
+        injector.on_queue_op(op)
+
+
+def _retryable(method):
+    """Wrap a queue operation in the queue's retry policy, if any.
+
+    Retries re-enter the whole operation (including its chaos hook and
+    its ``OSError`` → :class:`QueueUnreachable` translation), so a
+    transient fault costs a few jittered sleeps and a persistent one
+    still surfaces as ``QueueUnreachable`` — never a raw traceback.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        policy = self.retry
+        if policy is None:
+            return method(self, *args, **kwargs)
+
+        def count_retry(attempt, exc):
+            self.retries_used += 1
+
+        return policy.call(
+            method,
+            self,
+            *args,
+            exceptions=(QueueUnreachable,),
+            on_retry=count_retry,
+            **kwargs,
+        )
+
+    return wrapper
 
 
 def _pid_alive(pid: int) -> bool:
@@ -124,6 +180,9 @@ class JobStatus:
     completed: int
     leased: int
     workers: tuple[str, ...] = ()
+    stale: int = 0
+    quarantined: int = 0
+    lease_breaks: int = 0
 
     @property
     def done(self) -> bool:
@@ -131,11 +190,30 @@ class JobStatus:
 
     def describe(self) -> str:
         state = "done" if self.done else f"{self.leased} leased"
+        if self.stale:
+            state += f", {self.stale} stale"
+        if self.quarantined:
+            state += f", {self.quarantined} quarantined"
         crew = f", workers: {', '.join(self.workers)}" if self.workers else ""
         return (
             f"{self.job_id:<28} {self.completed}/{self.total} shards "
             f"({state}{crew})"
         )
+
+    def payload(self) -> dict:
+        """JSON-ready form for ``repro fabric status --json``."""
+        return {
+            "job_id": self.job_id,
+            "figure": self.figure_id,
+            "total": self.total,
+            "completed": self.completed,
+            "leased": self.leased,
+            "stale_leases": self.stale,
+            "quarantined": self.quarantined,
+            "lease_breaks": self.lease_breaks,
+            "workers": list(self.workers),
+            "done": self.done,
+        }
 
 
 @dataclass
@@ -150,12 +228,26 @@ class FabricQueue:
 
     root: pathlib.Path
     lease_ttl: float = DEFAULT_LEASE_TTL
+    retry: RetryPolicy | None = None
+    poison_breaks: int = DEFAULT_POISON_BREAKS
+    identity: str = ""
 
     def __init__(
-        self, root: str | pathlib.Path, lease_ttl: float = DEFAULT_LEASE_TTL
+        self,
+        root: str | pathlib.Path,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        retry: RetryPolicy | None = None,
+        poison_breaks: int = DEFAULT_POISON_BREAKS,
+        identity: str = "",
     ) -> None:
         self.root = pathlib.Path(root)
         self.lease_ttl = lease_ttl
+        self.retry = retry
+        self.poison_breaks = poison_breaks
+        self.identity = identity
+        #: transient-fault retries spent by this queue handle (surfaced
+        #: in FabricRun stats and artefact metadata — never silent).
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
     # Layout
@@ -179,12 +271,31 @@ class FabricQueue:
     def _lease_path(self, job_id: str, shard: int) -> pathlib.Path:
         return self.job_dir(job_id) / "leases" / f"{shard}.json"
 
+    def _breaks_path(self, job_id: str, shard: int) -> pathlib.Path:
+        return self.job_dir(job_id) / "leases" / f"{shard}.breaks"
+
+    def _deadletter_path(self, job_id: str, shard: int) -> pathlib.Path:
+        return self.job_dir(job_id) / "deadletter" / f"{shard}.json"
+
     def _result_path(self, job_id: str, shard: int) -> pathlib.Path:
         return self.job_dir(job_id) / "results" / f"{shard}.pkl"
+
+    def result_path(self, job_id: str, shard: int) -> pathlib.Path:
+        """Public result location (chaos hooks corrupt through this)."""
+        return self._result_path(job_id, shard)
 
     def _journal_dir(self, job_id: str) -> pathlib.Path:
         return self.job_dir(job_id) / "journal"
 
+    @property
+    def heartbeats_dir(self) -> pathlib.Path:
+        return self.root / "heartbeats"
+
+    @property
+    def supervisors_dir(self) -> pathlib.Path:
+        return self.root / "supervisors"
+
+    @_retryable
     def connect(self, create: bool = True) -> None:
         """Ensure the queue tree is usable, or raise :class:`QueueUnreachable`.
 
@@ -192,6 +303,7 @@ class FabricQueue:
         ``create=False`` a missing tree is already unreachable.
         """
         try:
+            _chaos_op("connect")
             if create:
                 self.jobs_dir.mkdir(parents=True, exist_ok=True)
             elif not self.jobs_dir.is_dir():
@@ -202,6 +314,7 @@ class FabricQueue:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    @_retryable
     def submit(
         self,
         job_id: str,
@@ -220,10 +333,11 @@ class FabricQueue:
         adopting an existing directory is always safe.
         """
         try:
+            _chaos_op("submit")
             job_dir = self.job_dir(job_id)
             if self._manifest_path(job_id).exists():
                 return False
-            for sub in ("leases", "results", "journal"):
+            for sub in ("leases", "results", "journal", "deadletter"):
                 (job_dir / sub).mkdir(parents=True, exist_ok=True)
             atomic_write_bytes(self._cells_path(job_id), pickle.dumps(cells))
             if artifact_snapshot is not None:
@@ -248,9 +362,11 @@ class FabricQueue:
         except OSError as exc:
             raise QueueUnreachable(f"cannot submit to {self.root}: {exc}") from exc
 
+    @_retryable
     def load_job(self, job_id: str) -> JobRecord | None:
         """The manifest of one job, or None when absent/corrupt."""
         try:
+            _chaos_op("status")
             raw = self._manifest_path(job_id).read_text()
             manifest = json.loads(raw)
         except FileNotFoundError:
@@ -275,18 +391,22 @@ class FabricQueue:
         except (KeyError, TypeError, ValueError):
             return None
 
+    @_retryable
     def cells(self, job_id: str) -> list:
         """The job's pickled cell list (prepare() order)."""
         try:
+            _chaos_op("cells")
             return pickle.loads(self._cells_path(job_id).read_bytes())
         except OSError as exc:
             raise QueueUnreachable(f"cannot read cells of {job_id}: {exc}") from exc
         except Exception as exc:  # noqa: BLE001 - corrupt pickle
             raise ExperimentError(f"corrupt cell list for job {job_id}: {exc}") from exc
 
+    @_retryable
     def list_jobs(self) -> list[str]:
         """Submitted job ids, oldest manifest first (FIFO-ish fairness)."""
         try:
+            _chaos_op("list-jobs")
             entries = [
                 entry
                 for entry in self.jobs_dir.iterdir()
@@ -302,15 +422,22 @@ class FabricQueue:
     # ------------------------------------------------------------------
     # Leases
     # ------------------------------------------------------------------
+    @_retryable
     def claim(self, job_id: str, shard: int, worker_id: str) -> bool:
         """Try to win the lease on one shard; True when this worker owns it.
 
-        Never claims a completed shard.  A stale lease (dead owner) is
-        broken first; the break itself is race-free because only one
-        contender's rename of the lease file can succeed.
+        Never claims a completed or quarantined shard.  A stale lease
+        (dead owner) is broken first; the break itself is race-free
+        because only one contender's rename of the lease file can
+        succeed — and each break is counted, because the
+        ``poison_breaks``-th break quarantines the shard instead of
+        feeding another worker to it (DESIGN.md §14.3).
         """
         try:
+            _chaos_op("claim")
             if self._result_path(job_id, shard).exists():
+                return False
+            if self._deadletter_path(job_id, shard).exists():
                 return False
             lease = self._lease_path(job_id, shard)
             payload = json.dumps(
@@ -325,7 +452,19 @@ class FabricQueue:
                 try:
                     fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
                 except FileExistsError:
+                    if self._owns_lease(lease, worker_id):
+                        # Re-entrant claim: a transient fault made an
+                        # earlier attempt fail *after* the O_EXCL win.
+                        # The lease is ours; don't fight our own pid.
+                        if self._result_path(job_id, shard).exists():
+                            self.release(job_id, shard)
+                            return False
+                        return True
                     if attempt or not self._break_stale_lease(lease):
+                        return False
+                    broken = self._record_break(job_id, shard, worker_id)
+                    if broken >= self.poison_breaks:
+                        self.quarantine(job_id, shard, broken, worker_id)
                         return False
                     continue
                 with os.fdopen(fd, "w") as handle:
@@ -343,6 +482,19 @@ class FabricQueue:
         except OSError as exc:
             raise QueueUnreachable(f"cannot claim in {self.root}: {exc}") from exc
 
+    def _owns_lease(self, lease: pathlib.Path, worker_id: str) -> bool:
+        """Whether the existing lease is this very process's own claim."""
+        try:
+            record = json.loads(lease.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        return (
+            isinstance(record, dict)
+            and record.get("worker") == worker_id
+            and record.get("pid") == os.getpid()
+            and record.get("host") == socket.gethostname()
+        )
+
     def _lease_stale(self, lease: pathlib.Path) -> bool:
         """Whether a lease's owner is provably gone (or timed out)."""
         try:
@@ -354,6 +506,11 @@ class FabricQueue:
             return True
         if not isinstance(record, dict):
             return True
+        injector = chaos.active()
+        if injector is not None:
+            # Lease-clock skew fault: ages shift, liveness proofs don't
+            # — exactly the failure a drifting fleet clock produces.
+            age += injector.clock_skew()
         if record.get("host") == socket.gethostname():
             pid = record.get("pid")
             if isinstance(pid, int) and not _pid_alive(pid):
@@ -377,16 +534,117 @@ class FabricQueue:
 
     def release(self, job_id: str, shard: int) -> None:
         """Drop this worker's lease without a result (failed/aborted)."""
-        self._lease_path(job_id, shard).unlink(missing_ok=True)
+        try:
+            self._lease_path(job_id, shard).unlink(missing_ok=True)
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot release shard {shard}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Poison-shard quarantine (DESIGN.md §14.3)
+    # ------------------------------------------------------------------
+    def _record_break(self, job_id: str, shard: int, worker_id: str) -> int:
+        """Account one lease break; returns the shard's break total.
+
+        One append-only line per break: racing breakers may interleave
+        lines but never lose them, so the count is monotone and the
+        quarantine threshold cannot be dodged by a crash loop that
+        rotates workers.
+        """
+        line = json.dumps(
+            {"by": worker_id, "at": time.time()}, sort_keys=True
+        )
+        path = self._breaks_path(job_id, shard)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            return self.lease_breaks(job_id, shard)  # best effort
+        return self.lease_breaks(job_id, shard)
+
+    def lease_breaks(self, job_id: str, shard: int) -> int:
+        """How many times this shard's lease has been broken."""
+        try:
+            return len(self._breaks_path(job_id, shard).read_text().splitlines())
+        except OSError:
+            return 0
+
+    def total_lease_breaks(self, job_id: str) -> int:
+        try:
+            paths = list((self.job_dir(job_id) / "leases").glob("*.breaks"))
+        except OSError:
+            return 0
+        return sum(
+            self.lease_breaks(job_id, int(path.name.split(".")[0]))
+            for path in paths
+            if path.name.split(".")[0].isdigit()
+        )
+
+    def quarantine(
+        self, job_id: str, shard: int, breaks: int, worker_id: str = ""
+    ) -> None:
+        """Move a poison shard to the dead letter: workers skip it.
+
+        The marker is written atomically and journalled; the *client*
+        later executes the quarantined cells locally once and publishes
+        the result, so the job still completes — loudly, with the
+        quarantine surfaced in ``fabric status`` and artefact metadata
+        rather than a fleet crash-looping forever.
+        """
+        marker = {
+            "shard": shard,
+            "breaks": breaks,
+            "quarantined_by": worker_id or self.identity,
+            "at": time.time(),
+        }
+        try:
+            path = self._deadletter_path(job_id, shard)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps(marker, sort_keys=True) + "\n")
+        except OSError as exc:
+            raise QueueUnreachable(f"cannot quarantine shard {shard}: {exc}") from exc
+        self.journal(
+            job_id,
+            worker_id or self.identity or worker_identity(),
+            {"event": "quarantined", "shard": shard, "breaks": breaks},
+        )
+
+    def is_quarantined(self, job_id: str, shard: int) -> bool:
+        try:
+            return self._deadletter_path(job_id, shard).exists()
+        except OSError:
+            return False
+
+    def quarantined_shards(self, job_id: str) -> set[int]:
+        """Indices of shards moved to the dead letter."""
+        try:
+            deadletter = self.job_dir(job_id) / "deadletter"
+            return {
+                int(entry.stem)
+                for entry in deadletter.glob("*.json")
+                if entry.stem.isdigit()
+            }
+        except FileNotFoundError:
+            return set()
+        except OSError:
+            return set()
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    @_retryable
     def write_result(self, job_id: str, shard: int, payload: dict) -> None:
-        """Publish one shard result atomically, then clear the lease."""
+        """Publish one shard result atomically, then clear the lease.
+
+        Publication is idempotent by the result-presence protocol: a
+        retried publish (after a transient fault anywhere in write or
+        release) rewrites identical bytes and re-clears the lease, so
+        the retry policy may replay it freely.
+        """
         record = dict(payload)
         record["version"] = _JOB_VERSION
         try:
+            _chaos_op("publish")
             atomic_write_bytes(
                 self._result_path(job_id, shard), pickle.dumps(record)
             )
@@ -394,6 +652,7 @@ class FabricQueue:
             raise QueueUnreachable(f"cannot publish shard {shard}: {exc}") from exc
         self.release(job_id, shard)
 
+    @_retryable
     def read_result(self, job_id: str, shard: int) -> dict | None:
         """One shard's result, or None when absent.
 
@@ -403,22 +662,39 @@ class FabricQueue:
         """
         path = self._result_path(job_id, shard)
         try:
+            _chaos_op("read-result")
             record = pickle.loads(path.read_bytes())
         except FileNotFoundError:
             return None
         except OSError as exc:
             raise QueueUnreachable(f"cannot read shard {shard}: {exc}") from exc
         except Exception:  # noqa: BLE001 - corrupt pickle must not be trusted
-            path.unlink(missing_ok=True)
+            self._discard_result(job_id, shard, path)
             return None
         if not isinstance(record, dict) or record.get("version") != _JOB_VERSION:
-            path.unlink(missing_ok=True)
+            self._discard_result(job_id, shard, path)
             return None
         return record
 
+    def _discard_result(self, job_id: str, shard: int, path: pathlib.Path) -> None:
+        """Drop an untrustworthy result and journal the discard.
+
+        The journal line is what lets the chaos accounting distinguish
+        a legitimate re-execution (this shard's bytes rotted) from a
+        double execution the lease protocol should have prevented.
+        """
+        path.unlink(missing_ok=True)
+        self.journal(
+            job_id,
+            self.identity or worker_identity(),
+            {"event": "discarded", "shard": shard},
+        )
+
+    @_retryable
     def completed_shards(self, job_id: str) -> set[int]:
         """Indices of shards with a published result."""
         try:
+            _chaos_op("status")
             results = self.job_dir(job_id) / "results"
             return {
                 int(entry.stem)
@@ -445,6 +721,7 @@ class FabricQueue:
         record["at"] = time.time()
         path = self._journal_dir(job_id) / f"{worker_id}.jsonl"
         try:
+            _chaos_op("journal")
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "a") as handle:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -486,6 +763,7 @@ class FabricQueue:
             leases = list((self.job_dir(job_id) / "leases").glob("*.json"))
         except OSError:
             leases = []
+        stale = sum(1 for lease in leases if self._lease_stale(lease))
         workers = sorted(
             {
                 str(entry.get("worker"))
@@ -500,6 +778,9 @@ class FabricQueue:
             completed=len(completed & {i for i in range(record.total_shards)}),
             leased=len(leases),
             workers=tuple(workers),
+            stale=stale,
+            quarantined=len(self.quarantined_shards(job_id)),
+            lease_breaks=self.total_lease_breaks(job_id),
         )
 
     def describe(self) -> str:
@@ -515,9 +796,101 @@ class FabricQueue:
                 lines.append(f"  {status.describe()}")
         return "\n".join(lines)
 
+    def status_payload(self) -> dict:
+        """The whole queue as JSON (``repro fabric status --json``).
+
+        Includes, beyond per-job shard progress: stale-lease,
+        dead-letter and lease-break counters, worker heartbeats, and
+        any supervisors' restart/crash-loop state — everything CI and
+        the supervisor assert on without parsing human output.
+        """
+        payload: dict = {
+            "queue": str(self.root),
+            "jobs": {job_id: {} for job_id in self.list_jobs()},
+        }
+        for job_id in list(payload["jobs"]):
+            status = self.status(job_id)
+            if status is None:
+                del payload["jobs"][job_id]
+            else:
+                payload["jobs"][job_id] = status.payload()
+        heartbeats = self.read_heartbeats()
+        if heartbeats:
+            payload["heartbeats"] = heartbeats
+        supervisors = self.read_supervisor_state()
+        if supervisors:
+            payload["supervisors"] = supervisors
+        return payload
+
+    # ------------------------------------------------------------------
+    # Fleet liveness (heartbeats, supervisor state) — DESIGN.md §14.4
+    # ------------------------------------------------------------------
+    def heartbeat(self, worker_id: str, payload: dict) -> None:
+        """Record one worker liveness beat.  Best-effort, never fatal."""
+        record = dict(payload)
+        record["worker"] = worker_id
+        record["pid"] = os.getpid()
+        record["at"] = time.time()
+        try:
+            self.heartbeats_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self.heartbeats_dir / f"{worker_id}.json",
+                json.dumps(record, sort_keys=True) + "\n",
+            )
+        except OSError:
+            pass  # liveness reporting must never kill the worker
+
+    def read_heartbeats(self) -> dict[str, dict]:
+        """Every worker's latest heartbeat, keyed by worker id."""
+        beats: dict[str, dict] = {}
+        try:
+            paths = sorted(self.heartbeats_dir.glob("*.json"))
+        except OSError:
+            return beats
+        for path in paths:
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict) and record.get("worker"):
+                beats[str(record["worker"])] = record
+        return beats
+
+    def write_supervisor_state(self, supervisor_id: str, payload: dict) -> None:
+        """Persist one supervisor's restart/crash-loop counters."""
+        record = dict(payload)
+        record["supervisor"] = supervisor_id
+        record["at"] = time.time()
+        try:
+            self.supervisors_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self.supervisors_dir / f"{supervisor_id}.json",
+                json.dumps(record, sort_keys=True) + "\n",
+            )
+        except OSError:
+            pass  # observability, not correctness
+
+    def read_supervisor_state(self) -> dict[str, dict]:
+        """Every supervisor's latest state, keyed by supervisor id."""
+        states: dict[str, dict] = {}
+        try:
+            paths = sorted(self.supervisors_dir.glob("*.json"))
+        except OSError:
+            return states
+        for path in paths:
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict) and record.get("supervisor"):
+                states[str(record["supervisor"])] = record
+        return states
+
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_POISON_BREAKS",
+    "DEFAULT_RETRY_POLICY",
     "FabricQueue",
     "JobRecord",
     "JobStatus",

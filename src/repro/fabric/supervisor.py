@@ -1,0 +1,354 @@
+"""Supervised worker fleet (DESIGN.md §14.4).
+
+``repro fabric supervise --workers N`` lands here.  The supervisor is
+deliberately dumb — it owns no work, no leases, no results; all of
+those stay in the queue's own protocol.  Its one job is *process
+lifecycle*: spawn N worker subprocesses against a queue, watch their
+heartbeat files, restart the ones that die (with jittered backoff so a
+crashing fleet doesn't thundering-herd the filesystem), and refuse to
+restart a slot that has crash-looped past its budget — at that point
+the fault is systemic, and restarting harder only burns lease breaks
+faster than the quarantine protocol (§14.3) can absorb them.
+
+Because workers are subprocesses of the *same* ``python -m repro``
+entry point, a ``REPRO_CHAOS_PLAN`` in the supervisor's environment is
+inherited by every child: one committed plan file steers the whole
+fleet, which is exactly how CI's ``chaos-smoke`` job rehearses a
+SIGKILLed worker, an errno burst and a poisoned shard in one run.
+
+Shutdown is graceful on SIGTERM/SIGINT: children receive SIGTERM
+(which the worker CLI maps to drain — finish the in-flight shard,
+publish, exit), the supervisor waits out a bounded grace period, then
+SIGKILLs stragglers.  Either way every death is accounted: restart and
+crash-loop counters persist under ``<queue>/supervisors/`` and surface
+in ``repro fabric status --json``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.fabric.chaos import JitteredBackoff
+from repro.fabric.queue import FabricQueue, QueueUnreachable
+
+#: a worker whose newest heartbeat is older than this is presumed
+#: wedged and killed (the restart path takes over).
+DEFAULT_HEARTBEAT_TIMEOUT = 60.0
+
+#: restarts per slot before the supervisor declares a crash-loop.
+DEFAULT_MAX_RESTARTS = 5
+
+#: seconds granted to a SIGTERMed child before escalation to SIGKILL.
+DEFAULT_GRACE = 10.0
+
+
+def _worker_command(
+    queue_root, worker_id: str, idle_timeout: float | None, once: bool
+) -> list[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fabric",
+        "worker",
+        "--queue",
+        str(queue_root),
+        "--worker-id",
+        worker_id,
+    ]
+    if once:
+        command.append("--once")
+    if idle_timeout is not None:
+        command += ["--idle-timeout", str(idle_timeout)]
+    return command
+
+
+def _worker_env() -> dict[str, str]:
+    """Child env: inherit everything, make ``python -m repro`` importable.
+
+    The supervisor may itself have been launched with ``PYTHONPATH=src``
+    from the repo root or from an installed package; deriving the path
+    from the imported package keeps the children identical either way.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_parent = str(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
+    existing = env.get("PYTHONPATH", "")
+    if package_parent not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_parent + os.pathsep + existing if existing else package_parent
+        )
+    return env
+
+
+@dataclass
+class WorkerSlot:
+    """One supervised worker position (identity survives restarts)."""
+
+    index: int
+    worker_id: str
+    process: subprocess.Popen | None = None
+    restarts: int = 0
+    crash_looping: bool = False
+    last_exit: int | None = None
+    started_at: float = 0.0
+    next_start: float = 0.0
+    backoff: JitteredBackoff = field(
+        default_factory=lambda: JitteredBackoff(base=0.2, cap=5.0)
+    )
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def payload(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "alive": self.alive,
+            "restarts": self.restarts,
+            "crash_looping": self.crash_looping,
+            "last_exit": self.last_exit,
+        }
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervisor run did (returned by :meth:`Supervisor.run`)."""
+
+    supervisor_id: str
+    workers: int
+    restarts: int
+    crash_loops: int
+    drained: bool
+    interrupted: bool = False
+
+    def describe(self) -> str:
+        lines = [
+            f"supervisor {self.supervisor_id}: {self.workers} worker slot(s), "
+            f"{self.restarts} restart(s), {self.crash_loops} crash-loop(s)"
+        ]
+        if self.crash_loops:
+            lines.append(
+                "  crash-loop: slot(s) exceeded the restart budget and were "
+                "left down — inspect the fault, do not just re-run"
+            )
+        if self.interrupted:
+            lines.append("  drained on signal: workers finished in-flight shards")
+        elif self.drained:
+            lines.append("  drained: every job in the queue is complete")
+        return "\n".join(lines)
+
+
+class Supervisor:
+    """Spawn, watch, restart and drain a fleet of queue workers."""
+
+    def __init__(
+        self,
+        queue_root,
+        workers: int = 2,
+        supervisor_id: str | None = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        grace: float = DEFAULT_GRACE,
+        drain: bool = False,
+        worker_idle_timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue = (
+            queue_root
+            if isinstance(queue_root, FabricQueue)
+            else FabricQueue(queue_root)
+        )
+        self.supervisor_id = supervisor_id or f"sup-{os.getpid()}"
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max_restarts
+        self.grace = grace
+        self.drain = drain
+        self.worker_idle_timeout = worker_idle_timeout
+        self.poll = poll
+        self.slots = [
+            WorkerSlot(index=i, worker_id=f"{self.supervisor_id}-w{i}")
+            for i in range(workers)
+        ]
+        self._stop = False
+        self._saw_job = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def request_stop(self, *_args) -> None:
+        """Signal-handler-safe: ask the run loop to drain and exit."""
+        self._stop = True
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        slot.process = subprocess.Popen(
+            _worker_command(
+                self.queue.root, slot.worker_id, self.worker_idle_timeout, once=False
+            ),
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        slot.started_at = time.monotonic()
+
+    def _heartbeat_age(self, slot: WorkerSlot) -> float | None:
+        beat = self.queue.read_heartbeats().get(slot.worker_id)
+        if beat is None:
+            return None
+        return max(0.0, time.time() - float(beat.get("at", 0)))
+
+    def _tend(self, slot: WorkerSlot) -> None:
+        """One supervision step for one slot."""
+        now = time.monotonic()
+        if slot.alive:
+            # Wedged-worker detection: a live process that has not
+            # beaten within the timeout (and has been up long enough to
+            # have beaten at all) is killed; the exit path below then
+            # schedules its restart.
+            age = self._heartbeat_age(slot)
+            up_for = now - slot.started_at
+            if up_for > self.heartbeat_timeout and (
+                age is None or age > self.heartbeat_timeout
+            ):
+                slot.process.kill()
+                slot.process.wait()
+            else:
+                return
+        if slot.process is not None and slot.last_exit is None:
+            code = slot.process.poll()
+            if code is None:
+                return
+            slot.last_exit = code
+            if code == 0:
+                # Clean exit (drained / idle-timeout): the slot is done,
+                # not crashed — restarting it would spin forever on an
+                # empty queue.
+                return
+            if slot.restarts >= self.max_restarts:
+                slot.crash_looping = True
+                return
+            slot.next_start = now + slot.backoff.next()
+        if slot.crash_looping or self._stop:
+            return
+        if slot.last_exit == 0:
+            return
+        if slot.process is None or (slot.last_exit is not None and now >= slot.next_start):
+            if slot.process is not None:
+                slot.restarts += 1
+            slot.last_exit = None
+            self._spawn(slot)
+
+    def _publish_state(self) -> None:
+        self.queue.write_supervisor_state(
+            self.supervisor_id,
+            {
+                "pid": os.getpid(),
+                "workers": [slot.payload() for slot in self.slots],
+                "restarts": sum(slot.restarts for slot in self.slots),
+                "crash_loops": sum(1 for slot in self.slots if slot.crash_looping),
+            },
+        )
+
+    def _queue_drained(self) -> bool:
+        """True once the queue has had jobs and they are all complete."""
+        try:
+            jobs = self.queue.list_jobs()
+            if jobs:
+                self._saw_job = True
+            if not self._saw_job:
+                return False
+            for job_id in jobs:
+                status = self.queue.status(job_id)
+                if status is not None and not status.done:
+                    return False
+        except (QueueUnreachable, OSError):
+            return False  # can't see the queue: keep supervising
+        return True
+
+    def _shutdown_children(self) -> None:
+        """SIGTERM (drain), bounded wait, then SIGKILL stragglers."""
+        for slot in self.slots:
+            if slot.alive:
+                slot.process.terminate()
+        deadline = time.monotonic() + self.grace
+        for slot in self.slots:
+            if slot.process is None:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                slot.process.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:
+                slot.process.kill()
+                slot.process.wait()
+            if slot.last_exit is None:
+                slot.last_exit = slot.process.returncode
+
+    def run(self) -> SupervisorReport:
+        """Supervise until drained (``drain=True``), every slot is done
+        or crash-looping, or a stop is requested."""
+        self.queue.connect(create=True)
+        for slot in self.slots:
+            self._spawn(slot)
+        self._publish_state()
+        drained = False
+        try:
+            while not self._stop:
+                for slot in self.slots:
+                    self._tend(slot)
+                self._publish_state()
+                if self.drain and self._queue_drained():
+                    drained = True
+                    break
+                if all(
+                    (not slot.alive)
+                    and (slot.crash_looping or slot.last_exit == 0)
+                    for slot in self.slots
+                ):
+                    break  # nothing left to supervise
+                time.sleep(self.poll)
+        finally:
+            self._shutdown_children()
+            self._publish_state()
+        return SupervisorReport(
+            supervisor_id=self.supervisor_id,
+            workers=len(self.slots),
+            restarts=sum(slot.restarts for slot in self.slots),
+            crash_loops=sum(1 for slot in self.slots if slot.crash_looping),
+            drained=drained,
+            interrupted=self._stop,
+        )
+
+
+def run_supervisor(queue_root, install_signals: bool = True, **kwargs) -> SupervisorReport:
+    """CLI entry: build a :class:`Supervisor`, wire signals, run it."""
+    supervisor = Supervisor(queue_root, **kwargs)
+    if install_signals:
+        previous = {
+            signal.SIGTERM: signal.signal(signal.SIGTERM, supervisor.request_stop),
+            signal.SIGINT: signal.signal(signal.SIGINT, supervisor.request_stop),
+        }
+        try:
+            return supervisor.run()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    return supervisor.run()
+
+
+__all__ = [
+    "DEFAULT_GRACE",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_MAX_RESTARTS",
+    "Supervisor",
+    "SupervisorReport",
+    "WorkerSlot",
+    "run_supervisor",
+]

@@ -20,24 +20,33 @@ on-disk snapshot — covers the whole fleet's work.
 Failure semantics: a cell that raises publishes an *error result* (the
 serial path would have raised the same error; retrying a deterministic
 failure is useless churn), while a worker that dies mid-shard leaves a
-stale lease that any peer breaks and re-runs.  ``REPRO_FABRIC_STALL``
-(seconds slept before each shard) exists so tests and CI can hold a
-worker mid-run long enough to SIGKILL it deterministically.
+stale lease that any peer breaks and re-runs.  Transient queue I/O
+errors are retried with jittered backoff (DESIGN.md §14.2) before the
+worker degrades; a persistent ``QueueUnreachable`` ends the loop with a
+reported reason, never a traceback.  Fault injection (the old ad-hoc
+``REPRO_FABRIC_STALL`` plus SIGKILLs, errno bursts, result rot — see
+:mod:`repro.fabric.chaos`) activates from the environment at loop
+start, so a committed plan steers spawned workers deterministically.
 """
 
 from __future__ import annotations
 
-import os
+import contextlib
 import time
 from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 from repro.experiments.artifacts import ARTIFACTS
 from repro.experiments.spec import execute_trial
-from repro.fabric.queue import FabricQueue, JobRecord, worker_identity
-
-#: test/CI hook: seconds to sleep before executing each shard.
-STALL_ENV = "REPRO_FABRIC_STALL"
+from repro.fabric import chaos
+from repro.fabric.chaos import STALL_ENV  # noqa: F401  (legacy re-export)
+from repro.fabric.queue import (
+    DEFAULT_RETRY_POLICY,
+    FabricQueue,
+    JobRecord,
+    QueueUnreachable,
+    worker_identity,
+)
 
 
 @dataclass
@@ -48,13 +57,20 @@ class WorkerStats:
     shards: int = 0
     cells: int = 0
     jobs: tuple[str, ...] = ()
+    retries: int = 0
+    unreachable: str = ""
 
     def describe(self) -> str:
         jobs = ", ".join(self.jobs) if self.jobs else "-"
-        return (
+        line = (
             f"worker {self.worker_id}: {self.shards} shard(s), "
             f"{self.cells} cell(s) across jobs: {jobs}"
         )
+        if self.retries:
+            line += f" ({self.retries} queue retr{'y' if self.retries == 1 else 'ies'})"
+        if self.unreachable:
+            line += f"\n  degraded: queue unreachable ({self.unreachable})"
+        return line
 
 
 def execute_shard(
@@ -72,11 +88,17 @@ def execute_shard(
     along in the result for the client to merge (DESIGN.md §9.2).
     """
     indices = record.shards[shard_index]
-    stall = float(os.environ.get(STALL_ENV, "0") or 0)
-    if stall > 0:
-        time.sleep(stall)
+    injector = chaos.active()
+    if injector is not None:
+        injector.on_shard_start(record.job_id, shard_index)
+
+    def _run_cell(index: int):
+        if injector is not None:
+            injector.on_cell(record.job_id, shard_index)
+        return execute_trial(cells[index])
+
     try:
-        values = [execute_trial(cells[index]) for index in indices]
+        values = [_run_cell(index) for index in indices]
     except ExperimentError as exc:
         queue.write_result(
             record.job_id,
@@ -97,6 +119,12 @@ def execute_shard(
     if record.artifacts:
         payload["delta"] = ARTIFACTS.drain_delta()
     queue.write_result(record.job_id, shard_index, payload)
+    if injector is not None:
+        injector.on_result_published(
+            queue.result_path(record.job_id, shard_index),
+            record.job_id,
+            shard_index,
+        )
     queue.journal(
         record.job_id,
         worker_id,
@@ -125,6 +153,7 @@ def run_worker(
     poll: float = 0.2,
     idle_timeout: float | None = None,
     max_shards: int | None = None,
+    stop=None,
 ) -> WorkerStats:
     """The worker main loop; returns when out of work or over budget.
 
@@ -139,59 +168,94 @@ def run_worker(
             (None: only ``once``/``max_shards`` end the loop).
         max_shards: stop after executing this many shards — bounded
             workers let tests model a worker that dies after N cells.
+        stop: optional zero-arg callable; when it returns True the loop
+            drains gracefully — the in-flight shard finishes and
+            publishes, no new shard is claimed.  The CLI wires SIGTERM
+            to this, so a supervisor drain never strands a lease.
     """
-    queue = FabricQueue(queue_root) if not isinstance(queue_root, FabricQueue) else queue_root
-    queue.connect(create=True)
-    stats = WorkerStats(worker_id=worker_id or worker_identity())
+    me = worker_id or worker_identity()
+    if isinstance(queue_root, FabricQueue):
+        queue = queue_root
+    else:
+        queue = FabricQueue(queue_root, retry=DEFAULT_RETRY_POLICY, identity=me)
+    if chaos.active() is None:
+        # Env-gated: a committed plan in REPRO_CHAOS_PLAN (or the legacy
+        # REPRO_FABRIC_STALL seconds) steers this process; nothing set
+        # means zero injection overhead.  Never clobber an injector a
+        # test installed directly.
+        chaos.activate("worker", identity=me, queue_root=queue.root)
+    stats = WorkerStats(worker_id=me)
     contexts: dict[str, _JobContext] = {}
     jobs_seen: list[str] = []
     last_progress = time.monotonic()
-    while True:
-        progressed = False
-        for job_id in queue.list_jobs():
-            context = contexts.get(job_id)
-            if context is None:
-                record = queue.load_job(job_id)
-                if record is None:
-                    continue
-                context = _JobContext(queue, record)
-                contexts[job_id] = context
-            record = context.record
-            completed = queue.completed_shards(job_id)
-            for shard_index in range(record.total_shards):
-                if shard_index in completed:
-                    continue
-                if not queue.claim(job_id, shard_index, stats.worker_id):
-                    continue
-                try:
-                    execute_shard(
-                        queue, record, context.cells, shard_index, stats.worker_id
-                    )
-                except BaseException:
-                    # Publish failed or the worker is dying: free the
-                    # shard for peers rather than strand the lease
-                    # until pid-death detection.
-                    queue.release(job_id, shard_index)
-                    raise
-                stats.shards += 1
-                stats.cells += len(record.shards[shard_index])
-                if job_id not in jobs_seen:
-                    jobs_seen.append(job_id)
-                progressed = True
-                last_progress = time.monotonic()
-                if max_shards is not None and stats.shards >= max_shards:
-                    stats.jobs = tuple(jobs_seen)
-                    return stats
-        if not progressed:
-            if once:
+    try:
+        queue.connect(create=True)
+        while True:
+            if stop is not None and stop():
                 break
-            if (
-                idle_timeout is not None
-                and time.monotonic() - last_progress >= idle_timeout
-            ):
-                break
-            time.sleep(poll)
+            progressed = False
+            queue.heartbeat(
+                stats.worker_id, {"shards": stats.shards, "cells": stats.cells}
+            )
+            for job_id in queue.list_jobs():
+                context = contexts.get(job_id)
+                if context is None:
+                    record = queue.load_job(job_id)
+                    if record is None:
+                        continue
+                    context = _JobContext(queue, record)
+                    contexts[job_id] = context
+                record = context.record
+                completed = queue.completed_shards(job_id)
+                for shard_index in range(record.total_shards):
+                    if shard_index in completed:
+                        continue
+                    if not queue.claim(job_id, shard_index, stats.worker_id):
+                        continue
+                    try:
+                        execute_shard(
+                            queue, record, context.cells, shard_index, stats.worker_id
+                        )
+                    except BaseException:
+                        # Publish failed or the worker is dying: free
+                        # the shard for peers rather than strand the
+                        # lease until pid-death detection.  The release
+                        # itself is best-effort — peers break stale
+                        # leases anyway.
+                        with contextlib.suppress(ExperimentError, OSError):
+                            queue.release(job_id, shard_index)
+                        raise
+                    stats.shards += 1
+                    stats.cells += len(record.shards[shard_index])
+                    if job_id not in jobs_seen:
+                        jobs_seen.append(job_id)
+                    progressed = True
+                    last_progress = time.monotonic()
+                    if max_shards is not None and stats.shards >= max_shards:
+                        stats.jobs = tuple(jobs_seen)
+                        stats.retries = queue.retries_used
+                        return stats
+                    if stop is not None and stop():
+                        stats.jobs = tuple(jobs_seen)
+                        stats.retries = queue.retries_used
+                        return stats
+            if not progressed:
+                if once:
+                    break
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - last_progress >= idle_timeout
+                ):
+                    break
+                time.sleep(poll)
+    except QueueUnreachable as exc:
+        # Retries are spent (the queue wraps every op in the retry
+        # policy): report the degradation and exit cleanly instead of
+        # unwinding with a traceback.  Results already published are
+        # durable; unfinished shards recover through stale leases.
+        stats.unreachable = str(exc)
     stats.jobs = tuple(jobs_seen)
+    stats.retries = queue.retries_used
     return stats
 
 

@@ -26,8 +26,10 @@ clients ask questions.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import sys
+import threading
 from typing import AsyncIterator, Awaitable, Callable
 
 from repro.errors import ExperimentError, ReproError
@@ -105,11 +107,47 @@ def _encode(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
+async def _next_line(
+    iterator, stop_event: asyncio.Event | None
+) -> str | None:
+    """The next line, or None on EOF or a requested stop.
+
+    With a ``stop_event``, the read races the event (a SIGTERM must be
+    able to interrupt a blocked read); the losing task is cancelled and
+    awaited so nothing leaks into the loop's shutdown.
+    """
+    if stop_event is None:
+        try:
+            return await iterator.__anext__()
+        except StopAsyncIteration:
+            return None
+    if stop_event.is_set():
+        return None
+    line_task = asyncio.ensure_future(iterator.__anext__())
+    stop_task = asyncio.ensure_future(stop_event.wait())
+    done, _pending = await asyncio.wait(
+        {line_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+    )
+    if line_task not in done:
+        line_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, StopAsyncIteration):
+            await line_task
+        return None
+    stop_task.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await stop_task
+    try:
+        return line_task.result()
+    except StopAsyncIteration:
+        return None
+
+
 async def serve(
     service: FleetService,
     lines: AsyncIterator[str],
     write: Callable[[str], Awaitable[None]],
     on_eof: str = "drain",
+    stop_event: asyncio.Event | None = None,
 ) -> None:
     """Run the full protocol loop over one line stream.
 
@@ -118,13 +156,21 @@ async def serve(
     * the **driver** — the only place :meth:`FleetService.tick` is
       called; idles cheaply when no mission is active;
     * the **firehose pump** — forwards every service event to ``write``;
-    * the **request loop** — reads ``lines`` until EOF or a shutdown
-      op.
+    * the **request loop** — reads ``lines`` until EOF, a shutdown op,
+      or ``stop_event``.
 
     ``on_eof`` decides what EOF means: ``"drain"`` (default) finishes
     every in-flight mission before exiting — so piping a batch of
     submit lines in behaves like a job queue — while ``"stop"`` shuts
     down immediately.
+
+    ``stop_event`` is the graceful-drain path (DESIGN.md §14.5): the
+    CLI sets it from SIGINT/SIGTERM.  When it fires, the request loop
+    stops reading, the driver finishes the epoch in flight (ticks are
+    never interrupted mid-epoch), and ``shutdown()`` cancels every
+    still-active mission with a ``MissionCancelled`` event that the
+    pump delivers before the stream closes — interrupted work is
+    reported, never dropped silently.
     """
     if on_eof not in ("drain", "stop"):
         raise ExperimentError(f'on_eof must be "drain" or "stop", got {on_eof!r}')
@@ -146,7 +192,11 @@ async def serve(
     driver_task = asyncio.create_task(driver())
     pump_task = asyncio.create_task(pump())
     try:
-        async for line in lines:
+        iterator = lines.__aiter__()
+        while True:
+            line = await _next_line(iterator, stop_event)
+            if line is None:
+                break
             line = line.strip()
             if not line:
                 continue
@@ -163,7 +213,10 @@ async def serve(
             await write(_encode(response))
             if response.get("stop"):
                 return
-        if on_eof == "drain":
+        if (
+            on_eof == "drain"
+            and (stop_event is None or not stop_event.is_set())
+        ):
             while service.has_active():
                 await asyncio.sleep(_DRAIN_POLL_SECONDS)
     finally:
@@ -173,14 +226,36 @@ async def serve(
         await pump_task
 
 
-async def serve_stdio(service: FleetService, on_eof: str = "drain") -> None:
-    """The protocol loop over this process's stdin/stdout."""
+async def serve_stdio(
+    service: FleetService,
+    on_eof: str = "drain",
+    stop_event: asyncio.Event | None = None,
+) -> None:
+    """The protocol loop over this process's stdin/stdout.
+
+    stdin is read on a *daemon* thread feeding an asyncio queue, not
+    through ``run_in_executor``: a graceful stop must be able to
+    abandon a blocked ``readline`` without the executor's non-daemon
+    worker thread then holding the interpreter open at exit.
+    """
     loop = asyncio.get_running_loop()
+    incoming: asyncio.Queue = asyncio.Queue()
+
+    def _reader() -> None:
+        while True:
+            line = sys.stdin.readline()
+            try:
+                loop.call_soon_threadsafe(incoming.put_nowait, line or None)
+            except RuntimeError:
+                return  # loop already closed (stopped mid-read)
+            if not line:
+                return  # EOF
+    threading.Thread(target=_reader, name="serve-stdin", daemon=True).start()
 
     async def lines() -> AsyncIterator[str]:
         while True:
-            line = await loop.run_in_executor(None, sys.stdin.readline)
-            if not line:
+            line = await incoming.get()
+            if line is None:
                 return  # EOF
             yield line
 
@@ -188,15 +263,20 @@ async def serve_stdio(service: FleetService, on_eof: str = "drain") -> None:
         sys.stdout.write(text + "\n")
         sys.stdout.flush()
 
-    await serve(service, lines(), write, on_eof=on_eof)
+    await serve(service, lines(), write, on_eof=on_eof, stop_event=stop_event)
 
 
-async def serve_socket(service: FleetService, path: str) -> None:
+async def serve_socket(
+    service: FleetService,
+    path: str,
+    stop_event: asyncio.Event | None = None,
+) -> None:
     """The protocol loop over a unix socket, for one client session.
 
     The connection gets the full protocol (requests + firehose); the
-    daemon exits when the client disconnects or sends
-    ``{"op": "shutdown"}``.
+    daemon exits when the client disconnects, sends
+    ``{"op": "shutdown"}``, or ``stop_event`` fires (the signal path —
+    also honoured while still waiting for a client to connect).
     """
     done = asyncio.Event()
 
@@ -215,14 +295,23 @@ async def serve_socket(service: FleetService, path: str) -> None:
             await writer.drain()
 
         try:
-            await serve(service, lines(), write, on_eof="stop")
+            await serve(service, lines(), write, on_eof="stop", stop_event=stop_event)
         finally:
             writer.close()
             done.set()
 
     server = await asyncio.start_unix_server(handle, path=path)
     async with server:
-        await done.wait()
+        waiters = [asyncio.create_task(done.wait())]
+        if stop_event is not None:
+            waiters.append(asyncio.create_task(stop_event.wait()))
+        _done, pending = await asyncio.wait(
+            waiters, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
 
 
 __all__ = ["handle_request", "serve", "serve_socket", "serve_stdio"]
