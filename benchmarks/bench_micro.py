@@ -6,7 +6,11 @@ useful when tuning and to catch performance regressions.
 """
 
 import random
+import time
 
+import pytest
+
+from repro import perf
 from repro.core.validation import ValidationMode
 from repro.crypto.chain import extend_chain, verify_chain
 from repro.crypto.keys import build_keystore
@@ -113,6 +117,80 @@ def _full_validation_trial(n: int, k: int):
 def test_full_validation_trial_n60(benchmark):
     """The Fig. 3 acceptance cell: FULL validation at n >= 60."""
     benchmark.pedantic(_full_validation_trial, args=(60, 6), rounds=1, iterations=1)
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time and the (stable) result of ``fn``."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_batched_kappa_vs_scalar(benchmark):
+    """Batched κ certification (repro.perf.kernels) vs the scalar pair
+    loop over a sweep-shaped request batch, with the speedup printed —
+    and the certified values asserted identical."""
+    if not perf.kernels_enabled():
+        pytest.skip("numpy unavailable: no vectorized leg to measure")
+    from repro.perf.kernels import certify_graphs
+
+    requests = [
+        (harary_graph(k, n), cutoff)
+        for k, n in ((4, 24), (6, 40), (6, 60))
+        for cutoff in (2, 3, 5)
+    ]
+
+    def scalar():
+        with perf.force_kernels(False):
+            return [vertex_connectivity(g, cutoff=c) for g, c in requests]
+
+    scalar_wall, scalar_values = _time(scalar)
+    vector_wall, vector_values = _time(lambda: list(certify_graphs(requests)))
+    assert list(scalar_values) == list(vector_values)
+    print(
+        f"\nbatched-kappa: scalar {scalar_wall * 1e3:.1f}ms -> "
+        f"vectorized {vector_wall * 1e3:.1f}ms "
+        f"({scalar_wall / vector_wall:.1f}x)"
+    )
+    benchmark.pedantic(
+        lambda: list(certify_graphs(requests)), rounds=1, iterations=1
+    )
+
+
+def test_stacked_hmac_vs_per_message(benchmark):
+    """One stacked tag comparison vs a thousand scheme.verify calls,
+    with the speedup printed — verdicts asserted identical."""
+    from repro.crypto.batch import verify_stacked
+
+    scheme = HmacScheme()
+    store = build_keystore(scheme, 8, seed=0)
+    rng = random.Random(1)
+    items = []
+    for index in range(1000):
+        pair = store.key_pair_of(index % 8)
+        message = bytes(rng.randrange(256) for _ in range(132))
+        items.append((pair.public_key, message, scheme.sign(pair, message)))
+    # A tampered tail exercises the per-item fallback attribution.
+    tampered = items[:-1] + [(items[-1][0], items[-1][1], b"\0" * 32)]
+
+    def per_message(batch):
+        return [scheme.verify(k, m, s) for k, m, s in batch]
+
+    loop_wall, loop_verdicts = _time(lambda: per_message(items))
+    stacked_wall, stacked_verdicts = _time(lambda: verify_stacked(scheme, items))
+    assert loop_verdicts == stacked_verdicts == [True] * len(items)
+    assert verify_stacked(scheme, tampered) == per_message(tampered)
+    print(
+        f"\nstacked-hmac: per-message {loop_wall * 1e3:.1f}ms -> "
+        f"stacked {stacked_wall * 1e3:.1f}ms "
+        f"({loop_wall / stacked_wall:.1f}x)"
+    )
+    benchmark.pedantic(
+        lambda: verify_stacked(scheme, items), rounds=1, iterations=1
+    )
 
 
 def test_full_validation_cache_hit_rate(benchmark):

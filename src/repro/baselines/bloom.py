@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from functools import lru_cache
 
 
 def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
@@ -36,6 +37,26 @@ def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple
     return bits, hashes
 
 
+@lru_cache(maxsize=16384)
+def _hash_positions(bit_count: int, hash_count: int, item: int) -> tuple[int, ...]:
+    """Bit positions of ``item`` for one filter geometry.
+
+    The positions are a pure function of the geometry and the item, and
+    every node of an MtG deployment shares one geometry — memoising
+    them turns the hot membership sweep of ``conclude()`` (n candidates
+    x n nodes, each re-hashing ``hash_count`` SHA-256 blocks) into
+    dictionary lookups without changing a single bit.
+    """
+    encoded = item.to_bytes(8, "big", signed=True)
+    return tuple(
+        int.from_bytes(
+            hashlib.sha256(index.to_bytes(2, "big") + encoded).digest()[:8], "big"
+        )
+        % bit_count
+        for index in range(hash_count)
+    )
+
+
 class BloomFilter:
     """A fixed-size Bloom filter over integer items.
 
@@ -56,13 +77,8 @@ class BloomFilter:
     # ------------------------------------------------------------------
     # Hashing
     # ------------------------------------------------------------------
-    def _positions(self, item: int) -> list[int]:
-        encoded = item.to_bytes(8, "big", signed=True)
-        positions = []
-        for index in range(self.hash_count):
-            digest = hashlib.sha256(index.to_bytes(2, "big") + encoded).digest()
-            positions.append(int.from_bytes(digest[:8], "big") % self.bit_count)
-        return positions
+    def _positions(self, item: int) -> tuple[int, ...]:
+        return _hash_positions(self.bit_count, self.hash_count, item)
 
     # ------------------------------------------------------------------
     # Set operations

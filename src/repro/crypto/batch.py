@@ -1,0 +1,189 @@
+"""Stacked signature verification (DESIGN.md §15).
+
+NECTAR's FULL validation verifies two endpoint signatures per
+neighborhood proof and one outer link per relayed chain — thousands of
+small HMAC checks per trial, each paying the per-call Python overhead
+of :meth:`~repro.crypto.signer.SignatureScheme.verify`.  This module
+collects a whole round's worth of those checks and answers them with
+one :meth:`~repro.crypto.signer.HmacScheme.verify_stacked` pass: the
+32-byte tags are compared as a single contiguous block, falling back
+to per-item verification only on a mismatch so failure attribution is
+preserved exactly.
+
+The integration point is a *primer*: :class:`RoundPrimer` rides the
+``SyncNetwork.delivery_prepass`` hook, predicts which announcements of
+the round will reach signature verification (replaying NECTAR's
+known-edge dedup), stacks their proof and outer-link checks, and
+inserts the verdicts into the shared
+:class:`~repro.crypto.cache.VerificationCache` before the scalar
+delivery loop runs.  The loop then finds every verdict memoised.
+Priming is warm-up only: verification is a pure function of
+``(key, message, signature)``, so cached-by-primer and
+computed-in-place verdicts are identical by construction and no
+accept/reject decision can change.  Cache hit/miss *counters* can
+differ slightly from the unprimed run (the primer counts one miss per
+primed check; lookups that would have been first-sight misses become
+hits) — counters are observability, not results, and nothing
+downstream keys off them.
+
+The experiment runner attaches a primer only to trials where the
+prediction is exact: honest NECTAR deployments in FULL mode with a
+shared cache, an :class:`~repro.crypto.signer.HmacScheme`, and a
+channel that delivers everything (a lossy channel would make the
+primer verify messages that never arrive).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.messages import EdgeAnnouncement, NectarBatch
+from repro.crypto.cache import VerificationCache
+from repro.crypto.chain import chain_message
+from repro.crypto.proofs import proof_bytes, proof_message
+from repro.crypto.signer import PublicDirectory, SignatureScheme
+from repro.graphs.graph import Graph
+from repro.types import Edge, NodeId
+
+__all__ = ["RoundPrimer", "verify_stacked"]
+
+
+def verify_stacked(
+    scheme: SignatureScheme, items: list[tuple[bytes, bytes, bytes]]
+) -> list[bool]:
+    """Batched verify of ``(public_key, data, signature)`` triples.
+
+    Dispatches to the scheme's stacked implementation; per-item
+    verdicts are always what :meth:`SignatureScheme.verify` would have
+    returned item by item.
+    """
+    return scheme.verify_stacked(items)
+
+
+class RoundPrimer:
+    """Warm a verification cache with one stacked pass per round.
+
+    Args:
+        graph: the deployment's communication graph (initial known
+            edges of every node are its incident edges).
+        cache: the deployment-shared verification cache to prime.
+        scheme: the signature scheme (stacked verification pays off for
+            :class:`~repro.crypto.signer.HmacScheme`; any scheme is
+            correct).
+        directory: the public-key directory.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache: VerificationCache,
+        scheme: SignatureScheme,
+        directory: PublicDirectory,
+    ) -> None:
+        self._cache = cache
+        self._scheme = scheme
+        self._directory = directory
+        # Predicted known-edge set per node, advanced in delivery
+        # order exactly like NectarNode's dedup: the first copy of a
+        # new edge is the one that gets validated, every later copy is
+        # dropped before signature work.
+        self._known: dict[NodeId, set[Edge]] = {
+            node: {
+                (min(node, neighbor), max(node, neighbor))
+                for neighbor in graph.neighbors(node)
+            }
+            for node in graph.nodes()
+        }
+
+    def __call__(self, round_number: int, deliveries: Iterable[tuple]) -> None:
+        cache = self._cache
+        jobs: list[tuple[bytes, bytes, bytes]] = []
+        # One pending record per stacked check: ("proof", proof) needs
+        # the next two job verdicts, ("chain", payload, links,
+        # prefix_hit) the next one.
+        pending: list[tuple] = []
+        seen_proofs: set[tuple] = set()
+        seen_chains: set[tuple] = set()
+        for envelope, destination, _size in deliveries:
+            payload = envelope.payload
+            if not isinstance(payload, NectarBatch):
+                continue
+            known = self._known[destination]
+            for announcement in payload.announcements:
+                proof = announcement.proof
+                lo, hi = proof.edge
+                if lo > hi:
+                    lo, hi = hi, lo
+                if lo == hi or (lo, hi) in known:
+                    continue
+                known.add((lo, hi))
+                self._collect(
+                    announcement, jobs, pending, seen_proofs, seen_chains
+                )
+        if not pending:
+            return
+        verdicts = self._scheme.verify_stacked(jobs)
+        cursor = 0
+        for record in pending:
+            if record[0] == "proof":
+                verdict = verdicts[cursor] and verdicts[cursor + 1]
+                cursor += 2
+                cache.prime_proof(record[1], verdict)
+            else:
+                _, chain_payload, links, prefix_hit = record
+                cache.prime_chain(
+                    chain_payload, links, verdicts[cursor], prefix_hit=prefix_hit
+                )
+                cursor += 1
+
+    def _collect(
+        self,
+        announcement: EdgeAnnouncement,
+        jobs: list[tuple[bytes, bytes, bytes]],
+        pending: list[tuple],
+        seen_proofs: set[tuple],
+        seen_chains: set[tuple],
+    ) -> None:
+        directory = self._directory
+        cache = self._cache
+        proof = announcement.proof
+        lo, hi = proof.edge
+        proof_key = (proof.edge, proof.signature_lo, proof.signature_hi)
+        if proof_key not in seen_proofs and not cache.has_proof(proof):
+            seen_proofs.add(proof_key)
+            if lo in directory and hi in directory:
+                message = proof_message(lo, hi)
+                jobs.append(
+                    (directory.public_key_of(lo), message, proof.signature_lo)
+                )
+                jobs.append(
+                    (directory.public_key_of(hi), message, proof.signature_hi)
+                )
+                pending.append(("proof", proof))
+            else:
+                cache.prime_proof(proof, False)
+        links = announcement.chain
+        if not links:
+            return
+        chain_payload = proof_bytes(proof)
+        chain_key = (chain_payload, links)
+        if chain_key in seen_chains or cache.has_chain(chain_payload, links):
+            return
+        if not cache.chain_prefix_valid(chain_payload, links):
+            # Unknown prefix: leave it to the scalar full-chain scan
+            # (possible only when the relayer's own verification was
+            # evicted or bypassed; never on the honest fast path).
+            return
+        seen_chains.add(chain_key)
+        prefix_hit = len(links) > 1
+        outer = links[-1]
+        if outer.signer not in directory:
+            cache.prime_chain(chain_payload, links, False, prefix_hit=prefix_hit)
+            return
+        message = cache.pop_outer_message(chain_payload, links)
+        if message is None:
+            message = chain_message(chain_payload, links[:-1])
+        jobs.append(
+            (directory.public_key_of(outer.signer), message, outer.signature)
+        )
+        pending.append(("chain", chain_payload, links, prefix_hit))

@@ -262,6 +262,18 @@ class ArtifactCache:
             self._delta_connectivity[key] = value
             return value
 
+    def has_connectivity(self, graph: Graph, cutoff: int | None) -> bool:
+        """Whether a κ certificate is already stored (no counters touched).
+
+        The sweep warm-up uses this to decide which certificates still
+        need producing before it pays for a batched kernel pass; a
+        plain probe must not perturb the hit/miss accounting that
+        :meth:`connectivity` reports for real trial lookups.
+        """
+        key = (graph.digest(), cutoff)
+        with self._lock:
+            return key in self._connectivity
+
     def key_store(
         self,
         scheme: SignatureScheme,

@@ -48,6 +48,7 @@ import pathlib
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
+from repro import perf
 from repro.adversary.behaviors import (
     MIXED_ADVERSARY_CYCLE,
     SaturatingMtgNode,
@@ -588,10 +589,22 @@ def _warm_artifacts(cells: Sequence[object]) -> None:
     key pair another already has.  Cell types that are not plain trial
     specs (mission cells) bring their own ``warm_artifacts`` hook.
 
+    When the vectorized kernels are enabled, the warm-up also batches
+    κ certificate production: every adversarial artifact cell will ask
+    :func:`~repro.experiments.runner.compute_ground_truth` for the
+    truncated connectivity of its scenario graph at cutoff ``2t + 1``,
+    so the distinct ``(graph, cutoff)`` requests the sweep colocates
+    are certified in one :func:`repro.perf.kernels.certify_graphs`
+    pass here and inserted into the certificate store — the cells all
+    hit.  The scalar leg skips this entirely and pays its misses
+    in-trial exactly as before; either way the certified values are
+    identical, so rows and verdicts cannot move.
+
     Infeasible topology parameters are skipped silently here: warm-up
     is an accelerator, and the failing cell raises its real
     :class:`ExperimentError` with full context at execution time.
     """
+    kappa_requests: dict[tuple[str, int], Graph] = {}
     for cell in cells:
         if not isinstance(cell, TrialSpec):
             warm = getattr(cell, "warm_artifacts", None)
@@ -606,8 +619,8 @@ def _warm_artifacts(cells: Sequence[object]) -> None:
             artifact = ARTIFACTS.topology(top.artifact_key(), top.build_artifact)
         except ExperimentError:
             continue
+        graph = artifact if isinstance(artifact, Graph) else artifact.graph
         if cell.env.scheme:
-            graph = artifact if isinstance(artifact, Graph) else artifact.graph
             scheme = resolve_scheme(cell.env.scheme)
             ARTIFACTS.key_store(
                 scheme,
@@ -615,6 +628,17 @@ def _warm_artifacts(cells: Sequence[object]) -> None:
                 cell.seed,
                 lambda: KeyStore(scheme, graph.nodes(), seed=cell.seed),
             )
+        if cell.adversary in ("two-faced", "mixed", "saturating"):
+            t = getattr(artifact, "t", top.t)
+            cutoff = 2 * t + 1
+            if not ARTIFACTS.has_connectivity(graph, cutoff):
+                kappa_requests.setdefault((graph.digest(), cutoff), graph)
+    if kappa_requests and perf.kernels_enabled():
+        from repro.perf import kernels
+
+        batch = [(graph, cutoff) for (_, cutoff), graph in kappa_requests.items()]
+        for (graph, cutoff), value in zip(batch, kernels.certify_graphs(batch)):
+            ARTIFACTS.connectivity(graph, cutoff, lambda value=value: value)
 
 
 def _cell_colocation_key(cell: object) -> object | None:

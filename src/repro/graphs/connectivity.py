@@ -21,6 +21,7 @@ sensitivity bound 2t) can cap every max-flow at the threshold.
 
 from __future__ import annotations
 
+from repro import perf
 from repro.graphs.graph import Graph
 from repro.graphs.maxflow import INFINITY, FlowNetwork
 from repro.types import NodeId
@@ -78,6 +79,12 @@ def vertex_connectivity(graph: Graph, cutoff: int | None = None) -> int:
         graph (including any graph with an isolated vertex) has κ = 0;
         the complete graph K_n has κ = n - 1 by convention.
     """
+    if perf.kernels_enabled():
+        from repro.perf import kernels
+
+        result = kernels.vertex_connectivity_kernel(graph, cutoff=cutoff)
+        if result is not None:
+            return result
     n = graph.n
     if n == 1:
         return 0 if cutoff is None else min(0, cutoff)

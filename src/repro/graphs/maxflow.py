@@ -56,6 +56,37 @@ class FlowNetwork:
         self._capacity.append(0)
 
     # ------------------------------------------------------------------
+    # Capacity snapshots (reusable networks)
+    # ------------------------------------------------------------------
+    def capacity_template(self) -> list[int]:
+        """A snapshot of the current residual capacities.
+
+        Callers that run many max-flow queries on the same arc
+        structure (the batched κ kernel re-terminalises one shared
+        vertex-split network per (s, t) pair) snapshot the pristine
+        capacities once and restore them with
+        :meth:`reset_capacities` instead of rebuilding the network.
+        """
+        return self._capacity.copy()
+
+    def reset_capacities(self, template: list[int]) -> None:
+        """Restore residual capacities from a template, in place."""
+        if len(template) != len(self._capacity):
+            raise ValueError("capacity template does not match edge count")
+        self._capacity[:] = template
+
+    def set_edge_capacity(self, edge_index: int, capacity: int) -> None:
+        """Overwrite one arc's residual capacity (template patching).
+
+        Arc indices follow insertion order: the i-th :meth:`add_edge`
+        call creates the forward arc ``2 * i`` and its residual twin
+        ``2 * i + 1``.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity[edge_index] = capacity
+
+    # ------------------------------------------------------------------
     # Dinic phases
     # ------------------------------------------------------------------
     def _build_levels(self, source: int, sink: int) -> list[int] | None:

@@ -58,6 +58,13 @@ from repro.types import NodeId
 class ChannelState(abc.ABC):
     """Per-run channel behaviour; produced by :meth:`ChannelModel.state`."""
 
+    #: True only for the degenerate state that delivers every message
+    #: and never consumes randomness — the eligibility predicate for
+    #: the vectorized trial fast path (:mod:`repro.perf.fastpath`),
+    #: which replays delivery as closed-form array passes and is only
+    #: exact when the channel is a no-op.
+    always_delivers: bool = False
+
     @abc.abstractmethod
     def delivers(
         self, round_number: int, sender: NodeId, destination: NodeId
@@ -95,6 +102,8 @@ class ChannelModel(abc.ABC):
 
 
 class _AlwaysDelivers(ChannelState):
+    always_delivers: bool = True
+
     def delivers(
         self, round_number: int, sender: NodeId, destination: NodeId
     ) -> bool:

@@ -140,6 +140,13 @@ class SyncNetwork:
         self.channel = channel
         self._channel_state = channel.state(graph, loss_seed)
         self._quiescence_skip = quiescence_skip
+        #: optional per-round hook, called with ``(round_number,
+        #: deliveries)`` after sends are collected and before any
+        #: delivery happens.  The batched-verification primer
+        #: (:mod:`repro.crypto.batch`) uses it to warm the
+        #: verification cache with one stacked HMAC pass per round;
+        #: the hook must not mutate the deliveries.
+        self.delivery_prepass = None
         self.stats = TrafficStats()
         #: rounds asked for / actually iterated by the last :meth:`run`.
         self.rounds_requested = 0
@@ -150,6 +157,15 @@ class SyncNetwork:
     def rounds_skipped(self) -> int:
         """Provably-no-op rounds elided by quiescence short-circuiting."""
         return self.rounds_requested - self.rounds_executed
+
+    @property
+    def channel_always_delivers(self) -> bool:
+        """Whether the channel state never drops a message.
+
+        The batched-verification primer keys off this: priming is only
+        exact when every collected message actually arrives.
+        """
+        return self._channel_state.always_delivers
 
     def run(self, rounds: int) -> dict[NodeId, Any]:
         """Execute ``rounds`` synchronous rounds and collect verdicts.
@@ -174,6 +190,8 @@ class SyncNetwork:
             deliveries: list[tuple[Envelope, NodeId, int]] = []
             for node_id in node_order:
                 protocol = self._protocols[node_id]
+                sent_bytes = 0
+                sent_count = 0
                 for outgoing in protocol.begin_round(round_number):
                     self._check_channel(node_id, outgoing)
                     envelope = Envelope(
@@ -182,17 +200,42 @@ class SyncNetwork:
                         payload=outgoing.payload,
                     )
                     size = envelope.wire_size(self._profile)
-                    self.stats.record_send(node_id, size)
+                    sent_bytes += size
+                    sent_count += 1
                     deliveries.append((envelope, outgoing.destination, size))
+                self.stats.record_send_bulk(node_id, sent_bytes, sent_count)
+            if self.delivery_prepass is not None and deliveries:
+                self.delivery_prepass(round_number, deliveries)
             # Synchrony: everything sent in this round arrives before
             # the next round starts (unless the channel model drops
-            # it).
-            for envelope, destination, size in deliveries:
-                if not self._channel_state.delivers(
-                    round_number, envelope.sender, destination
-                ):
-                    continue
-                self.stats.record_receive(destination, size)
+            # it).  The channel's drop decisions are drawn first, in
+            # the historical one-draw-per-delivery order, so the mask
+            # pass leaves stateful (RNG) channels bit-identical; the
+            # per-receiver byte totals then land as one bulk update
+            # per node per round.
+            channel_state = self._channel_state
+            if channel_state.always_delivers:
+                kept = deliveries
+            else:
+                kept = [
+                    delivery
+                    for delivery in deliveries
+                    if channel_state.delivers(
+                        round_number, delivery[0].sender, delivery[1]
+                    )
+                ]
+            received_bytes: dict[NodeId, int] = {}
+            received_count: dict[NodeId, int] = {}
+            for _, destination, size in kept:
+                received_bytes[destination] = (
+                    received_bytes.get(destination, 0) + size
+                )
+                received_count[destination] = received_count.get(destination, 0) + 1
+            for destination, total in received_bytes.items():
+                self.stats.record_receive_bulk(
+                    destination, total, received_count[destination]
+                )
+            for envelope, destination, size in kept:
                 self._protocols[destination].deliver(
                     round_number, envelope.sender, envelope.payload
                 )

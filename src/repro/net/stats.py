@@ -32,6 +32,32 @@ class TrafficStats:
         self.messages_received[receiver] = self.messages_received.get(receiver, 0) + 1
 
     # ------------------------------------------------------------------
+    # Bulk accounting (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    # Byte and message counts are integer sums, so folding a whole
+    # round's traffic per node into one dict update is bit-identical to
+    # the per-message calls — the array-delivery path in SyncNetwork
+    # and the vectorized trial engine both account through these.
+
+    def record_send_bulk(self, sender: NodeId, total_bytes: int, count: int) -> None:
+        """Account ``count`` outgoing messages totalling ``total_bytes``."""
+        if count <= 0:
+            return
+        self.bytes_sent[sender] = self.bytes_sent.get(sender, 0) + total_bytes
+        self.messages_sent[sender] = self.messages_sent.get(sender, 0) + count
+
+    def record_receive_bulk(
+        self, receiver: NodeId, total_bytes: int, count: int
+    ) -> None:
+        """Account ``count`` incoming messages totalling ``total_bytes``."""
+        if count <= 0:
+            return
+        self.bytes_received[receiver] = self.bytes_received.get(receiver, 0) + total_bytes
+        self.messages_received[receiver] = (
+            self.messages_received.get(receiver, 0) + count
+        )
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def total_bytes_sent(self) -> int:
